@@ -1,0 +1,168 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index) plus a Bechamel
+   microbenchmark suite over the core data structures.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig7 table1  -- selected targets
+     ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
+
+let scale =
+  match Sys.getenv_opt "ZYGOS_BENCH_SCALE" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> f
+      | _ -> invalid_arg "ZYGOS_BENCH_SCALE must be a positive float")
+  | None -> 1.0
+
+(* ---- Bechamel microbenchmarks ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let heap_bench =
+    let heap = Engine.Heap.create () in
+    Test.make ~name:"engine: heap push+pop"
+      (Staged.stage (fun () ->
+           Engine.Heap.add heap ~time:1.0 ();
+           ignore (Engine.Heap.pop_min heap : (float * unit) option)))
+  in
+  let rss = Net.Rss.create ~queues:16 () in
+  let rss_bench =
+    let counter = ref 0 in
+    Test.make ~name:"net: toeplitz RSS dispatch"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Net.Rss.queue_of_conn rss (!counter land 0x3ff) : int)))
+  in
+  let tally = Stats.Tally.create () in
+  let tally_bench =
+    Test.make ~name:"stats: tally record"
+      (Staged.stage (fun () -> Stats.Tally.record tally 12.5))
+  in
+  let histogram = Stats.Histogram.create () in
+  let histogram_bench =
+    Test.make ~name:"stats: histogram record"
+      (Staged.stage (fun () -> Stats.Histogram.record histogram 12.5))
+  in
+  let sched_bench =
+    let module S = Core.Sched.Sim_sched in
+    let sched = S.create ~cores:4 in
+    let pcb = S.register sched ~conn:0 ~home:0 in
+    Test.make ~name:"core: shuffle deliver+dispatch+complete"
+      (Staged.stage (fun () ->
+           S.deliver sched pcb ();
+           match S.next_local sched ~core:0 with
+           | Some (p, _, _) -> S.complete sched p
+           | None -> assert false))
+  in
+  let btree = Silo.Btree.create () in
+  let () =
+    for i = 0 to 9_999 do
+      ignore (Silo.Btree.insert btree (Silo.Key.of_int i) i : [ `Inserted | `Duplicate of int ])
+    done
+  in
+  let btree_get_bench =
+    let counter = ref 0 in
+    Test.make ~name:"silo: btree get (10k keys)"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Silo.Btree.get btree (Silo.Key.of_int (!counter mod 10_000)))))
+  in
+  let btree_churn_bench =
+    let counter = ref 0 in
+    Test.make ~name:"silo: btree insert+remove"
+      (Staged.stage (fun () ->
+           incr counter;
+           let key = Silo.Key.of_int (100_000 + (!counter mod 1024)) in
+           ignore (Silo.Btree.insert btree key 0 : [ `Inserted | `Duplicate of int ]);
+           ignore (Silo.Btree.remove btree key : int option)))
+  in
+  let tpcc = Silo.Tpcc.load () in
+  let worker = Silo.Db.worker (Silo.Tpcc.db tpcc) ~id:0 in
+  let tpcc_rng = Engine.Rng.create ~seed:5 in
+  let payment_bench =
+    Test.make ~name:"silo: TPC-C Payment transaction"
+      (Staged.stage (fun () ->
+           ignore (Silo.Tpcc.execute tpcc worker tpcc_rng Silo.Tpcc.Payment : Silo.Tpcc.outcome)))
+  in
+  let neworder_bench =
+    Test.make ~name:"silo: TPC-C NewOrder transaction"
+      (Staged.stage (fun () ->
+           ignore (Silo.Tpcc.execute tpcc worker tpcc_rng Silo.Tpcc.New_order : Silo.Tpcc.outcome)))
+  in
+  let store = Kvstore.Store.create ~capacity:10_000 () in
+  let () = Kvstore.Store.set store "bench-key" "bench-value" in
+  let kv_bench =
+    let parser = Kvstore.Protocol.create_parser () in
+    Test.make ~name:"kvstore: parse+execute GET"
+      (Staged.stage (fun () ->
+           match Kvstore.Protocol.feed parser "get bench-key\r\n" with
+           | [ Ok cmd ] ->
+               ignore (Kvstore.Protocol.execute store cmd : Kvstore.Protocol.response)
+           | _ -> assert false))
+  in
+  [
+    heap_bench;
+    rss_bench;
+    tally_bench;
+    histogram_bench;
+    sched_bench;
+    btree_get_bench;
+    btree_churn_bench;
+    payment_bench;
+    neworder_bench;
+    kv_bench;
+  ]
+
+let micro ~scale =
+  let open Bechamel in
+  Experiments.Output.print_header "Microbenchmarks (Bechamel, ns per operation)";
+  let quota = Time.second (Float.max 0.2 (0.5 *. scale)) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota ~kde:None ~stabilize:false () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        Hashtbl.fold
+          (fun name bench acc ->
+            let est = Analyze.one ols instance bench in
+            let ns =
+              match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+            in
+            [ name; Printf.sprintf "%.1f" ns ] :: acc)
+          results [])
+      (micro_tests ())
+    |> List.concat
+  in
+  Experiments.Output.print_table ~columns:[ "operation"; "ns/op" ]
+    ~rows:(List.sort compare rows)
+
+(* ---- target registry and driver ---- *)
+
+let targets = Experiments.Figures.all_targets @ [ ("micro", fun ~scale -> micro ~scale) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> List.map fst targets
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n targets) then begin
+              Printf.eprintf "unknown target %S; available: %s\n" n
+                (String.concat ", " (List.map fst targets));
+              exit 1
+            end)
+          names;
+        names
+  in
+  Printf.printf "ZygOS reproduction benchmarks (scale=%g; ZYGOS_BENCH_SCALE to change)\n" scale;
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      (List.assoc name targets) ~scale;
+      Printf.printf "\n[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+    selected

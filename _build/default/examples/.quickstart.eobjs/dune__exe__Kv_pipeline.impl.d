@@ -1,0 +1,1 @@
+examples/kv_pipeline.ml: Engine Experiments Kvstore List Printf String

@@ -1,0 +1,1 @@
+examples/runtime_demo.ml: Array Atomic Engine Fun List Printf Runtime

@@ -1,0 +1,1 @@
+examples/silo_tpcc.ml: Engine Hashtbl List Printf Silo Stats Unix

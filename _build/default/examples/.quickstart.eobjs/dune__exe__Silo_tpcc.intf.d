@@ -1,0 +1,1 @@
+examples/silo_tpcc.mli:

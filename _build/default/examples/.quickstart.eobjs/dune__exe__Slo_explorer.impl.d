@@ -1,0 +1,1 @@
+examples/slo_explorer.ml: Array Engine Experiments List Printf Sys

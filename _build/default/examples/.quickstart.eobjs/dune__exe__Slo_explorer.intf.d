@@ -1,0 +1,1 @@
+examples/slo_explorer.mli:

@@ -1,0 +1,1 @@
+examples/spin_server.ml: Array Buffer Engine Float List Mutex Net Printf Runtime String

@@ -1,0 +1,1 @@
+examples/steal_trace.ml: Engine Format List Net Systems

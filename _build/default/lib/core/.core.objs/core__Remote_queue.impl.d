@@ -1,0 +1,1 @@
+lib/core/remote_queue.ml: List Platform Queue

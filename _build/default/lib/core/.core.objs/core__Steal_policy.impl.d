@@ -1,0 +1,1 @@
+lib/core/steal_policy.ml: Array Engine

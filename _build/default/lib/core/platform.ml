@@ -1,0 +1,48 @@
+module type LOCK = sig
+  type t
+
+  val create : unit -> t
+
+  val lock : t -> unit
+
+  val unlock : t -> unit
+
+  val try_lock : t -> bool
+end
+
+module Nolock : LOCK = struct
+  (* In a single-threaded simulation a lock can never be contended, but a
+     bug in the scheduler's lock discipline (double acquire, unlock without
+     lock) would be a real bug in the multicore host too — so track the
+     held bit and assert on misuse. *)
+  type t = { mutable held : bool }
+
+  let create () = { held = false }
+
+  let lock t =
+    assert (not t.held);
+    t.held <- true
+
+  let unlock t =
+    assert t.held;
+    t.held <- false
+
+  let try_lock t =
+    if t.held then false
+    else begin
+      t.held <- true;
+      true
+    end
+end
+
+module Mutex_lock : LOCK = struct
+  type t = Mutex.t
+
+  let create () = Mutex.create ()
+
+  let lock = Mutex.lock
+
+  let unlock = Mutex.unlock
+
+  let try_lock = Mutex.try_lock
+end

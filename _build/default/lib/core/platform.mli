@@ -1,0 +1,32 @@
+(** Locking abstraction separating the scheduling logic from its host.
+
+    The ZygOS scheduler ({!Sched}) runs in two very different hosts:
+
+    - inside the single-threaded discrete-event simulator (lib/systems),
+      where "locks" only assert the protocol and try-locks always succeed;
+    - on real OCaml 5 domains (lib/runtime), where they are actual mutexes.
+
+    Keeping the shuffle-layer code identical across both means the
+    simulated experiments exercise the very same state-machine and queue
+    code the real executor runs. *)
+
+module type LOCK = sig
+  type t
+
+  val create : unit -> t
+
+  val lock : t -> unit
+
+  val unlock : t -> unit
+
+  val try_lock : t -> bool
+  (** Non-blocking acquisition, used by remote cores for steal attempts
+      (§5: "Remote cores rely on trylock for their steal attempts"). *)
+end
+
+module Nolock : LOCK
+(** For single-threaded simulation: lock/unlock only check (via assertions)
+    that the lock discipline is respected; [try_lock] always succeeds. *)
+
+module Mutex_lock : LOCK
+(** Real [Stdlib.Mutex]-based locks for the multicore runtime. *)

@@ -1,0 +1,32 @@
+module Make (L : Platform.LOCK) = struct
+  type 'a t = { lock : L.t; items : 'a Queue.t; mutable pushed : int }
+
+  let create () = { lock = L.create (); items = Queue.create (); pushed = 0 }
+
+  let push t x =
+    L.lock t.lock;
+    Queue.add x t.items;
+    t.pushed <- t.pushed + 1;
+    L.unlock t.lock
+
+  let drain t =
+    L.lock t.lock;
+    let rec loop acc =
+      match Queue.take_opt t.items with
+      | Some x -> loop (x :: acc)
+      | None -> List.rev acc
+    in
+    let out = loop [] in
+    L.unlock t.lock;
+    out
+
+  let length t =
+    L.lock t.lock;
+    let n = Queue.length t.items in
+    L.unlock t.lock;
+    n
+
+  let is_empty t = length t = 0
+
+  let pushed_total t = t.pushed
+end

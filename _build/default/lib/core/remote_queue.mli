@@ -1,0 +1,27 @@
+(** Multiple-producer / single-consumer queue for remote batched system
+    calls (§4.2 step (b)).
+
+    When a remote core finishes executing a stolen batch, the system calls
+    the application issued (TCP sends, mainly) must run back on the
+    connection's home core, where its TCP output path lives coherence-free.
+    Remote cores push completed batches here; the home core drains the
+    queue either in its main loop or from the IPI handler. *)
+
+module Make (L : Platform.LOCK) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Producer side (any core). *)
+
+  val drain : 'a t -> 'a list
+  (** Consumer side (home core only): take everything, FIFO order. *)
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val pushed_total : 'a t -> int
+  (** Total elements ever pushed (for statistics). *)
+end

@@ -1,0 +1,247 @@
+module type S = sig
+  type lock
+
+  type source = Local | Stolen of int
+
+  type state = Idle | Ready | Busy
+
+  type 'ev pcb
+
+  type 'ev t
+
+  val create : cores:int -> 'ev t
+
+  val cores : 'ev t -> int
+
+  val register : 'ev t -> conn:int -> home:int -> 'ev pcb
+
+  val conn : 'ev pcb -> int
+
+  val home : 'ev pcb -> int
+
+  val state : 'ev pcb -> state
+
+  val pending_events : 'ev pcb -> int
+
+  val deliver : 'ev t -> 'ev pcb -> 'ev -> unit
+
+  val next : 'ev t -> core:int -> steal_order:int array -> ('ev pcb * 'ev list * source) option
+
+  val next_local : 'ev t -> core:int -> ('ev pcb * 'ev list * source) option
+
+  val complete : 'ev t -> 'ev pcb -> unit
+
+  val queue_length : 'ev t -> core:int -> int
+
+  val has_ready : 'ev t -> bool
+
+  type counters = {
+    local_dispatches : int;
+    steal_dispatches : int;
+    local_events : int;
+    stolen_events : int;
+  }
+
+  val counters : 'ev t -> core:int -> counters
+
+  val total_counters : 'ev t -> counters
+
+  val steal_fraction : 'ev t -> float
+end
+
+module Make (L : Platform.LOCK) : S with type lock = L.t = struct
+  type lock = L.t
+
+  type source = Local | Stolen of int
+
+  type state = Idle | Ready | Busy
+
+  type 'ev pcb = {
+    conn_id : int;
+    home_core : int;
+    plock : L.t;  (* guards [events] and [pcb_state] *)
+    events : 'ev Queue.t;
+    mutable pcb_state : state;
+  }
+
+  type 'ev core_state = {
+    qlock : L.t;  (* guards [shuffle]; §5's one spinlock per core *)
+    shuffle : 'ev pcb Queue.t;
+    mutable local_dispatches : int;
+    mutable steal_dispatches : int;
+    mutable local_events : int;
+    mutable stolen_events : int;
+  }
+
+  type 'ev t = { core_states : 'ev core_state array }
+
+  let create ~cores =
+    if cores < 1 then invalid_arg "Sched.create: cores < 1";
+    let make_core _ =
+      {
+        qlock = L.create ();
+        shuffle = Queue.create ();
+        local_dispatches = 0;
+        steal_dispatches = 0;
+        local_events = 0;
+        stolen_events = 0;
+      }
+    in
+    { core_states = Array.init cores make_core }
+
+  let cores t = Array.length t.core_states
+
+  let register t ~conn ~home =
+    if home < 0 || home >= cores t then invalid_arg "Sched.register: home out of range";
+    { conn_id = conn; home_core = home; plock = L.create (); events = Queue.create ();
+      pcb_state = Idle }
+
+  let conn pcb = pcb.conn_id
+
+  let home pcb = pcb.home_core
+
+  let state pcb = pcb.pcb_state
+
+  let pending_events pcb = Queue.length pcb.events
+
+  (* Lock order is always PCB lock before shuffle-queue lock, both here and
+     in [complete]; [dispatch_from] takes them in the opposite nesting but
+     never holds both (the queue lock is released before the PCB lock is
+     taken — safe because only the dispatcher that popped the PCB can see
+     it in Ready-but-not-in-queue limbo). *)
+  let enqueue_ready t pcb =
+    let c = t.core_states.(pcb.home_core) in
+    L.lock c.qlock;
+    Queue.add pcb c.shuffle;
+    L.unlock c.qlock
+
+  let deliver t pcb ev =
+    L.lock pcb.plock;
+    Queue.add ev pcb.events;
+    let became_ready = pcb.pcb_state = Idle in
+    if became_ready then pcb.pcb_state <- Ready;
+    if became_ready then begin
+      enqueue_ready t pcb;
+      L.unlock pcb.plock
+    end
+    else L.unlock pcb.plock
+
+  let drain_events pcb =
+    let rec loop acc =
+      match Queue.take_opt pcb.events with
+      | Some ev -> loop (ev :: acc)
+      | None -> List.rev acc
+    in
+    loop []
+
+  (* Pop one ready PCB from [victim]'s shuffle queue and acquire it.
+     Stealing uses try_lock and gives up on contention (§5). *)
+  let dispatch_from t ~core ~victim =
+    let c = t.core_states.(victim) in
+    let stealing = victim <> core in
+    let locked = if stealing then L.try_lock c.qlock else (L.lock c.qlock; true) in
+    if not locked then None
+    else begin
+      let popped = Queue.take_opt c.shuffle in
+      L.unlock c.qlock;
+      match popped with
+      | None -> None
+      | Some pcb ->
+          L.lock pcb.plock;
+          assert (pcb.pcb_state = Ready);
+          pcb.pcb_state <- Busy;
+          let batch = drain_events pcb in
+          L.unlock pcb.plock;
+          let n = List.length batch in
+          let me = t.core_states.(core) in
+          if stealing then begin
+            me.steal_dispatches <- me.steal_dispatches + 1;
+            me.stolen_events <- me.stolen_events + n
+          end
+          else begin
+            me.local_dispatches <- me.local_dispatches + 1;
+            me.local_events <- me.local_events + n
+          end;
+          Some (pcb, batch, if stealing then Stolen victim else Local)
+    end
+
+  let next t ~core ~steal_order =
+    match dispatch_from t ~core ~victim:core with
+    | Some _ as r -> r
+    | None ->
+        let n = Array.length steal_order in
+        let rec try_victims i =
+          if i >= n then None
+          else begin
+            let victim = steal_order.(i) in
+            if victim = core then try_victims (i + 1)
+            else
+              match dispatch_from t ~core ~victim with
+              | Some _ as r -> r
+              | None -> try_victims (i + 1)
+          end
+        in
+        try_victims 0
+
+  let next_local t ~core = dispatch_from t ~core ~victim:core
+
+  let complete t pcb =
+    L.lock pcb.plock;
+    if pcb.pcb_state <> Busy then begin
+      L.unlock pcb.plock;
+      invalid_arg "Sched.complete: pcb not busy"
+    end;
+    if Queue.is_empty pcb.events then pcb.pcb_state <- Idle
+    else begin
+      pcb.pcb_state <- Ready;
+      enqueue_ready t pcb
+    end;
+    L.unlock pcb.plock
+
+  let queue_length t ~core =
+    let c = t.core_states.(core) in
+    L.lock c.qlock;
+    let n = Queue.length c.shuffle in
+    L.unlock c.qlock;
+    n
+
+  let has_ready t =
+    Array.exists (fun c -> not (Queue.is_empty c.shuffle)) t.core_states
+
+  type counters = {
+    local_dispatches : int;
+    steal_dispatches : int;
+    local_events : int;
+    stolen_events : int;
+  }
+
+  let counters t ~core =
+    let c = t.core_states.(core) in
+    {
+      local_dispatches = c.local_dispatches;
+      steal_dispatches = c.steal_dispatches;
+      local_events = c.local_events;
+      stolen_events = c.stolen_events;
+    }
+
+  let total_counters t =
+    let add (acc : counters) (c : _ core_state) : counters =
+      {
+        local_dispatches = acc.local_dispatches + c.local_dispatches;
+        steal_dispatches = acc.steal_dispatches + c.steal_dispatches;
+        local_events = acc.local_events + c.local_events;
+        stolen_events = acc.stolen_events + c.stolen_events;
+      }
+    in
+    Array.fold_left add
+      { local_dispatches = 0; steal_dispatches = 0; local_events = 0; stolen_events = 0 }
+      t.core_states
+
+  let steal_fraction t =
+    let c = total_counters t in
+    let total = c.local_events + c.stolen_events in
+    if total = 0 then 0. else float_of_int c.stolen_events /. float_of_int total
+end
+
+module Sim_sched = Make (Platform.Nolock)
+module Mt_sched = Make (Platform.Mutex_lock)

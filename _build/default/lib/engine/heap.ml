@@ -1,0 +1,73 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;  (* slots [0, size) are live *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.entries in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  (* Safe dummy: duplicate an existing entry if any, it is overwritten. *)
+  let dummy = if t.size > 0 then t.entries.(0) else { time = 0.; seq = 0; value = Obj.magic 0 } in
+  let bigger = Array.make new_cap dummy in
+  Array.blit t.entries 0 bigger 0 t.size;
+  t.entries <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.entries.(i) t.entries.(parent) then begin
+      let tmp = t.entries.(i) in
+      t.entries.(i) <- t.entries.(parent);
+      t.entries.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && precedes t.entries.(left) t.entries.(!smallest) then smallest := left;
+  if right < t.size && precedes t.entries.(right) t.entries.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.entries.(i) in
+    t.entries.(i) <- t.entries.(!smallest);
+    t.entries.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time value =
+  if t.size = Array.length t.entries then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.entries.(t.size) <- { time; seq; value };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.entries.(0) <- t.entries.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_min_time t = if t.size = 0 then None else Some t.entries.(0).time
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by (time, sequence number).
+
+    The event queue of the discrete-event simulator. Ties on time break by
+    insertion order (FIFO), which keeps simulations deterministic and makes
+    "simultaneous" events execute in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Insert an element with the given priority. O(log n). *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the earliest element (smallest time, then earliest
+    insertion). O(log n). *)
+
+val peek_min_time : 'a t -> float option
+(** Time of the earliest element without removing it. *)
+
+val clear : 'a t -> unit

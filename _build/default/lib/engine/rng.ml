@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* Re-mix so that split streams do not share the master's gamma phase. *)
+  { state = mix64 seed }
+
+let float t =
+  (* 53 high-quality bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float_range t lo hi =
+  assert (lo <= hi);
+  lo +. (float t *. (hi -. lo))
+
+let int t bound =
+  assert (bound > 0);
+  (* Modulo bias is negligible for bounds << 2^62 (all our uses). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let int_range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let exponential t ~mean =
+  (* Inverse CDF; [1. -. float t] avoids log 0. *)
+  -.mean *. log (1. -. float t)
+
+let normal t ~mu ~sigma =
+  let u1 = 1. -. float t and u2 = float t in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

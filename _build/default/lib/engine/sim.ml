@@ -1,0 +1,49 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+
+type handle = event
+
+type t = { mutable clock : float; queue : event Heap.t }
+
+let create () = { clock = 0.; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: at %g is in the past (now %g)" at t.clock);
+  let ev = { cancelled = false; action } in
+  Heap.add t.queue ~time:at ev;
+  ev
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel ev = ev.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let rec step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      if ev.cancelled then step t
+      else begin
+        t.clock <- time;
+        ev.action ();
+        true
+      end
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let rec loop () =
+    match Heap.peek_min_time t.queue with
+    | Some time when time <= horizon ->
+        ignore (step t : bool);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if horizon > t.clock then t.clock <- horizon

@@ -1,0 +1,47 @@
+(** Discrete-event simulation core.
+
+    A simulation is a virtual clock plus an event queue of timestamped
+    callbacks. Simulated time is a float in microseconds. Events scheduled
+    for the same instant fire in scheduling order, so runs are fully
+    deterministic given deterministic callbacks and {!Rng} seeds.
+
+    Events can be cancelled through the handle returned by {!schedule};
+    cancellation is O(1) (the entry stays in the heap but is skipped). *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** Fresh simulation with clock at 0. *)
+
+val now : t -> float
+(** Current simulated time (µs). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not
+    be in the past (raises [Invalid_argument]). *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f].
+    [delay] must be non-negative. *)
+
+val cancel : handle -> unit
+(** Prevent a pending event from firing. Cancelling a fired or already
+    cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    skipped). *)
+
+val step : t -> bool
+(** Execute the next event, advancing the clock. Returns [false] when the
+    queue is empty. *)
+
+val run : t -> unit
+(** Run until no events remain. *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] executes events with timestamp <= [horizon], then
+    advances the clock to [horizon]. Events beyond stay queued. *)

@@ -1,0 +1,1 @@
+lib/experiments/appserve.ml: Array Engine Float Kvstore Net Option Run Silo Stats Systems Unix

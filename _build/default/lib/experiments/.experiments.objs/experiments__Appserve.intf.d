@@ -1,0 +1,1 @@
+lib/experiments/appserve.mli: Kvstore Run Silo

@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Engine List Models Net Printf Stats Systems

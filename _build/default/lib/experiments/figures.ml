@@ -1,0 +1,637 @@
+module Dist = Engine.Dist
+
+let requests ~scale base = max 4_000 (int_of_float (float_of_int base *. scale))
+
+let cores = 16
+
+(* The three service-time distributions of §3.4/§6.1, at unit mean. *)
+let dists_of_mean mean =
+  [ Dist.deterministic mean; Dist.exponential mean; Dist.bimodal1 ~mean ]
+
+(* ---- Figure 2 ---- *)
+
+let fig2 ~scale =
+  Output.print_header "Figure 2: p99 latency vs load, idealized queueing models (n=16, S=1)";
+  let open Models.Queueing in
+  let specs =
+    [
+      { servers = cores; policy = Ps; topology = Partitioned };
+      { servers = cores; policy = Fcfs; topology = Partitioned };
+      { servers = cores; policy = Fcfs; topology = Central };
+      { servers = cores; policy = Ps; topology = Central };
+    ]
+  in
+  let loads = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95 ] in
+  let service_mean = 1.0 in
+  let dists =
+    [
+      Dist.deterministic service_mean;
+      Dist.exponential service_mean;
+      Dist.bimodal1 ~mean:service_mean;
+      Dist.bimodal2 ~mean:service_mean;
+    ]
+  in
+  List.iter
+    (fun dist ->
+      Output.print_subheader (Printf.sprintf "distribution: %s" (Dist.name dist));
+      let rows =
+        List.map
+          (fun load ->
+            Output.f2 load
+            :: List.map
+                 (fun spec ->
+                   let r =
+                     simulate spec ~service:dist ~load ~requests:(requests ~scale 40_000)
+                       ~seed:1
+                   in
+                   Output.f2 (Stats.Tally.p99 r.latencies))
+                 specs)
+          loads
+      in
+      Output.print_table ~columns:("load" :: List.map name specs) ~rows)
+    dists
+
+(* ---- Max-load-at-SLO figures (3 and 7) ---- *)
+
+let slo_figure ~scale ~title ~service_means ~systems =
+  Output.print_header title;
+  List.iter
+    (fun make_dist ->
+      let sample = make_dist 1.0 in
+      Output.print_subheader (Printf.sprintf "distribution: %s" (Dist.name sample));
+      let rows =
+        List.map
+          (fun mean ->
+            let service = make_dist mean in
+            let slo = 10. *. mean in
+            Printf.sprintf "%g" mean
+            :: List.map
+                 (fun system ->
+                   let cfg =
+                     Run.config ~system ~service ~cores
+                       ~requests:(requests ~scale 25_000) ()
+                   in
+                   let load, _ = Run.max_load_at_slo cfg ~slo_p99:slo ~resolution:0.02 () in
+                   Output.pct load)
+                 systems)
+          service_means
+      in
+      Output.print_table
+        ~columns:("S(us)" :: List.map Run.system_name systems)
+        ~rows)
+    [
+      (fun m -> Dist.deterministic m);
+      (fun m -> Dist.exponential m);
+      (fun m -> Dist.bimodal1 ~mean:m);
+    ]
+
+let fig3 ~scale =
+  slo_figure ~scale
+    ~title:"Figure 3: max load @ SLO (p99 <= 10*S) vs service time -- baselines"
+    ~service_means:[ 5.; 10.; 25.; 50.; 100.; 200. ]
+    ~systems:
+      [
+        Run.Model_central_fcfs;
+        Run.Model_partitioned_fcfs;
+        Run.Linux_floating;
+        Run.Linux_partitioned;
+        Run.Ix 1;
+      ]
+
+let fig7 ~scale =
+  slo_figure ~scale
+    ~title:"Figure 7: max load @ SLO (p99 <= 10*S) vs service time -- with ZygOS"
+    ~service_means:[ 2.; 5.; 10.; 15.; 20.; 30.; 40.; 50. ]
+    ~systems:
+      [
+        Run.Model_central_fcfs;
+        Run.Model_partitioned_fcfs;
+        Run.Zygos;
+        Run.Linux_floating;
+        Run.Linux_partitioned;
+        Run.Ix 1;
+      ]
+
+(* ---- Figure 6 ---- *)
+
+let sweep_figure ~scale ~service ~systems ~slo ~loads ?(rpc_packets = 1) () =
+  let rows_for system =
+    let cfg =
+      Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) ~rpc_packets ()
+    in
+    List.map
+      (fun load ->
+        let p = Run.run_point cfg ~load in
+        (system, load, p))
+      loads
+  in
+  let all = List.concat_map rows_for systems in
+  let rows =
+    List.map
+      (fun (system, load, (p : Run.point)) ->
+        [
+          Run.system_name system;
+          Output.f2 load;
+          Output.f3 p.throughput;
+          Output.f1 p.p99;
+          (if p.p99 <= slo then "meets" else "violates");
+        ])
+      all
+  in
+  Output.print_table
+    ~columns:[ "system"; "load"; "tput(MRPS)"; "p99(us)"; Printf.sprintf "SLO %.0fus" slo ]
+    ~rows
+
+let fig6 ~scale =
+  Output.print_header
+    "Figure 6: p99 latency vs throughput (SLO = 10*S), three distributions x {10us, 25us}";
+  let loads = [ 0.2; 0.35; 0.5; 0.6; 0.7; 0.8; 0.85; 0.9; 0.95 ] in
+  let systems =
+    [ Run.Model_central_fcfs; Run.Linux_floating; Run.Ix 1; Run.Zygos; Run.Zygos_no_interrupts ]
+  in
+  List.iter
+    (fun mean ->
+      List.iter
+        (fun service ->
+          Output.print_subheader
+            (Printf.sprintf "%s, S = %gus" (Dist.name service) mean);
+          sweep_figure ~scale ~service ~systems ~slo:(10. *. mean) ~loads ())
+        (dists_of_mean mean))
+    [ 10.; 25. ]
+
+(* ---- Figure 8 ---- *)
+
+let fig8 ~scale =
+  Output.print_header "Figure 8: steal rate vs throughput (exponential, S = 25us)";
+  let service = Dist.exponential 25. in
+  let loads = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.77; 0.85; 0.9; 0.95 ] in
+  let rows =
+    List.concat_map
+      (fun system ->
+        let cfg = Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) () in
+        List.map
+          (fun load ->
+            let p = Run.run_point cfg ~load in
+            let get key = Option.value ~default:0. (List.assoc_opt key p.info) in
+            let events = get "local_events" +. get "stolen_events" in
+            let ipis_per_event = if events = 0. then 0. else get "ipis_sent" /. events in
+            [
+              Run.system_name system;
+              Output.f2 load;
+              Output.f3 p.throughput;
+              Output.pct (get "steal_fraction");
+              Output.f3 ipis_per_event;
+            ])
+          loads)
+      [ Run.Zygos; Run.Zygos_no_interrupts ]
+  in
+  Output.print_table
+    ~columns:[ "system"; "load"; "tput(MRPS)"; "steals/event"; "IPIs/event" ]
+    ~rows
+
+(* ---- Figure 9 ---- *)
+
+let fig9 ~scale =
+  Output.print_header "Figure 9: memcached ETC and USR (SLO 500us at p99)";
+  List.iter
+    (fun kind ->
+      let wl = Kvstore.Workload.create kind in
+      let service = Kvstore.Workload.service_dist wl ~samples:20_000 in
+      Output.print_subheader
+        (Printf.sprintf "%s: mean task %.2fus, GET fraction %.1f%%"
+           (Kvstore.Workload.name kind) (Dist.mean service)
+           (100. *. Kvstore.Workload.get_fraction kind));
+      (* For sub-2µs tasks the per-request overheads dominate: real systems
+         saturate at 30–60% of the zero-overhead capacity, so the sweep
+         covers the low-load range (the paper's Fig. 9 x-axis is absolute
+         MRPS for the same reason). *)
+      let loads = [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4; 0.45; 0.5; 0.55; 0.6 ] in
+      sweep_figure ~scale ~service
+        ~systems:[ Run.Linux_floating; Run.Ix 1; Run.Ix 64; Run.Zygos ]
+        ~slo:500. ~loads ())
+    [ Kvstore.Workload.Etc; Kvstore.Workload.Usr ]
+
+(* ---- Silo / TPC-C (Figures 10a, 10b, Table 1) ---- *)
+
+let paper_silo_mean_us = 33.
+
+type silo_run = {
+  samples : float array;  (* normalized service times, µs *)
+  by_type : (string * float array) list;
+  raw_mean : float;  (* measured mean on this machine, µs *)
+}
+
+let silo_run_memo : (float * silo_run) option ref = ref None
+
+let run_silo ~scale =
+  match !silo_run_memo with
+  | Some (s, run) when s >= scale -> run
+  | _ ->
+      let tpcc = Silo.Tpcc.load () in
+      let worker = Silo.Db.worker (Silo.Tpcc.db tpcc) ~id:0 in
+      let rng = Engine.Rng.create ~seed:1234 in
+      let n = requests ~scale 30_000 in
+      let all = Stats.Tally.create () in
+      let per_type = Hashtbl.create 8 in
+      for _ = 1 to n do
+        let tx = Silo.Tpcc.standard_mix rng in
+        let t0 = Unix.gettimeofday () in
+        (match Silo.Tpcc.execute tpcc worker rng tx with
+        | Silo.Tpcc.Committed | Silo.Tpcc.Rolled_back | Silo.Tpcc.Conflicted -> ());
+        let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+        Stats.Tally.record all us;
+        let tally =
+          match Hashtbl.find_opt per_type (Silo.Tpcc.tx_name tx) with
+          | Some t -> t
+          | None ->
+              let t = Stats.Tally.create () in
+              Hashtbl.add per_type (Silo.Tpcc.tx_name tx) t;
+              t
+        in
+        Stats.Tally.record tally us
+      done;
+      let raw_mean = Stats.Tally.mean all in
+      (* Normalize to the paper's 33µs mean service time so the 1000µs SLO
+         of §6.3 carries over directly; the *shape* is as measured. *)
+      let k = paper_silo_mean_us /. raw_mean in
+      let normalize tally = Array.map (fun x -> x *. k) (Stats.Tally.samples tally) in
+      let run =
+        {
+          samples = normalize all;
+          by_type =
+            Hashtbl.fold (fun name tally acc -> (name, normalize tally) :: acc) per_type [];
+          raw_mean;
+        }
+      in
+      silo_run_memo := Some (scale, run);
+      run
+
+let silo_service_samples ~scale = (run_silo ~scale).samples
+
+let fig10a ~scale =
+  Output.print_header "Figure 10a: CCDF of Silo/TPC-C service time (real execution)";
+  let run = run_silo ~scale in
+  Printf.printf
+    "measured mean on this machine: %.1fus; samples normalized to the paper's %.0fus mean\n"
+    run.raw_mean paper_silo_mean_us;
+  let pct_of samples p =
+    let t = Stats.Tally.create () in
+    Array.iter (Stats.Tally.record t) samples;
+    Stats.Tally.percentile t p
+  in
+  let rows =
+    List.map
+      (fun (name, samples) ->
+        [
+          name;
+          string_of_int (Array.length samples);
+          Output.f1 (Array.fold_left ( +. ) 0. samples /. float_of_int (Array.length samples));
+          Output.f1 (pct_of samples 50.);
+          Output.f1 (pct_of samples 90.);
+          Output.f1 (pct_of samples 99.);
+          Output.f1 (pct_of samples 99.9);
+        ])
+      (("Mix", run.samples) :: List.sort compare run.by_type)
+  in
+  Output.print_table
+    ~columns:[ "transaction"; "count"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+    ~rows;
+  Output.print_subheader "Mix CCDF (service time us, P[X > x])";
+  let points = Stats.Ccdf.of_samples ~points:14 run.samples in
+  Output.print_table
+    ~columns:[ "x(us)"; "P[X>x]" ]
+    ~rows:
+      (List.map
+         (fun { Stats.Ccdf.value; prob } -> [ Output.f1 value; Printf.sprintf "%.4f" prob ])
+         points)
+
+let silo_systems = [ Run.Linux_floating; Run.Ix 1; Run.Zygos ]
+
+let silo_slo = 1000.
+
+(* TPC-C requests/responses exceed one MTU; model them as 3 packets each
+   way (the per-packet costs multiply; see EXPERIMENTS.md §Calibration). *)
+let silo_rpc_packets = 3
+
+let fig10b ~scale =
+  Output.print_header
+    "Figure 10b: Silo/TPC-C p99 end-to-end latency vs throughput (SLO 1000us)";
+  let service = Dist.empirical (silo_service_samples ~scale) in
+  let loads = [ 0.2; 0.35; 0.5; 0.6; 0.7; 0.8; 0.85; 0.9; 0.95 ] in
+  sweep_figure ~scale ~service ~systems:silo_systems ~slo:silo_slo ~loads
+    ~rpc_packets:silo_rpc_packets ()
+
+let table1 ~scale =
+  Output.print_header
+    "Table 1: Silo/TPC-C max load @ 1000us SLO and tails at 50/75/90% of max";
+  let service = Dist.empirical (silo_service_samples ~scale) in
+  let service_p99 =
+    let t = Stats.Tally.create () in
+    Array.iter (Stats.Tally.record t) (silo_service_samples ~scale);
+    Stats.Tally.p99 t
+  in
+  let capacity = float_of_int cores /. Dist.mean service in
+  let results =
+    List.map
+      (fun system ->
+        let cfg =
+          Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000)
+            ~rpc_packets:silo_rpc_packets ()
+        in
+        let max_load, point = Run.max_load_at_slo cfg ~slo_p99:silo_slo ~resolution:0.02 () in
+        (system, cfg, max_load, point))
+      silo_systems
+  in
+  let linux_tput =
+    match results with
+    | (_, _, _, p) :: _ -> p.Run.throughput
+    | [] -> assert false
+  in
+  let rows =
+    List.map
+      (fun (system, cfg, max_load, (point : Run.point)) ->
+        let tail_at frac =
+          let p = Run.run_point cfg ~load:(max_load *. frac) in
+          Printf.sprintf "%.0fus (%.1fx) @%.0f KTPS" p.Run.p99 (p.Run.p99 /. service_p99)
+            (1000. *. p.Run.throughput)
+        in
+        [
+          Run.system_name system;
+          Printf.sprintf "%.0f KTPS" (1000. *. point.Run.throughput);
+          Printf.sprintf "%.2fx" (point.Run.throughput /. linux_tput);
+          tail_at 0.5;
+          tail_at 0.75;
+          tail_at 0.9;
+        ])
+      results
+  in
+  Printf.printf "zero-overhead capacity: %.0f KTPS; service p99 = %.0fus\n"
+    (1000. *. capacity) service_p99;
+  Output.print_table
+    ~columns:[ "system"; "max load@SLO"; "speedup"; "tail@50%"; "tail@75%"; "tail@90%" ]
+    ~rows;
+  (* Our measured TPC-C service tail is heavier than the paper's (p99 here
+     vs 203µs there), so the fixed 1000µs SLO is a much tighter multiple of
+     p99 (2.7x vs the paper's ~5x) — which is the §7 tradeoff. Also report
+     max load at the paper's SLO-to-tail ratio. *)
+  let slo5 = 5. *. service_p99 in
+  Output.print_subheader
+    (Printf.sprintf "same experiment at the paper's SLO-to-tail ratio (SLO = 5 x p99 = %.0fus)"
+       slo5);
+  let rows5 =
+    List.map
+      (fun system ->
+        let cfg =
+          Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000)
+            ~rpc_packets:silo_rpc_packets ()
+        in
+        let _, point = Run.max_load_at_slo cfg ~slo_p99:slo5 ~resolution:0.02 () in
+        [ Run.system_name system; Printf.sprintf "%.0f KTPS" (1000. *. point.Run.throughput) ])
+      silo_systems
+  in
+  Output.print_table ~columns:[ "system"; "max load@5xp99" ] ~rows:rows5
+
+(* ---- Figure 11 ---- *)
+
+let fig11 ~scale =
+  Output.print_header
+    "Figure 11: SLO choice (100us vs 1000us), fixed 10us tasks -- IX B=1, IX B=64, ZygOS";
+  let service = Dist.deterministic 10. in
+  let loads = [ 0.3; 0.5; 0.65; 0.8; 0.85; 0.9; 0.93; 0.95; 0.97 ] in
+  let systems = [ Run.Ix 64; Run.Ix 1; Run.Zygos ] in
+  let points =
+    List.concat_map
+      (fun system ->
+        let cfg = Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) () in
+        List.map (fun load -> (system, Run.run_point cfg ~load)) loads)
+      systems
+  in
+  Output.print_table
+    ~columns:[ "system"; "load"; "tput(MRPS)"; "p99(us)"; "SLO 100us"; "SLO 1000us" ]
+    ~rows:
+      (List.map
+         (fun (system, (p : Run.point)) ->
+           [
+             Run.system_name system;
+             Output.f2 p.Run.load;
+             Output.f3 p.Run.throughput;
+             Output.f1 p.Run.p99;
+             (if p.Run.p99 <= 100. then "meets" else "violates");
+             (if p.Run.p99 <= 1000. then "meets" else "violates");
+           ])
+         points);
+  Output.print_subheader "max throughput under each SLO";
+  let rows =
+    List.map
+      (fun system ->
+        let cfg = Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) () in
+        let best slo =
+          let _, p = Run.max_load_at_slo cfg ~slo_p99:slo ~resolution:0.02 () in
+          Output.f3 p.Run.throughput
+        in
+        [ Run.system_name system; best 100.; best 1000. ])
+      systems
+  in
+  Output.print_table ~columns:[ "system"; "MRPS @100us"; "MRPS @1000us" ] ~rows
+
+(* ---- Ablations (DESIGN.md §5) ---- *)
+
+let ablate_poll ~scale =
+  Output.print_header "Ablation: randomized vs round-robin steal-victim order (exp, 10us)";
+  let service = Dist.exponential 10. in
+  let loads = [ 0.5; 0.7; 0.8; 0.85; 0.9 ] in
+  let run_with ~random =
+    List.map
+      (fun load ->
+        let sim = Engine.Sim.create () in
+        let rng = Engine.Rng.create ~seed:42 in
+        let loadgen_rng = Engine.Rng.split rng in
+        let system_rng = Engine.Rng.split rng in
+        let rate = load *. float_of_int cores /. Dist.mean service in
+        let gen =
+          Net.Loadgen.create sim ~rng:loadgen_rng ~conns:2752 ~rate ~service ()
+        in
+        let params = { (Systems.Params.default ~cores ()) with zy_poll_random = random } in
+        let system =
+          Systems.Zygos.create sim params ~rng:system_rng ~conns:2752
+            ~respond:(fun req -> Net.Loadgen.complete gen req)
+            ()
+        in
+        Net.Loadgen.set_target gen system.Systems.Iface.submit;
+        let measure = float_of_int (requests ~scale 25_000) /. rate in
+        Net.Loadgen.start gen ~warmup:(0.2 *. measure) ~measure;
+        Engine.Sim.run sim;
+        (load, Stats.Tally.p99 (Net.Loadgen.tally gen)))
+      loads
+  in
+  let random = run_with ~random:true and rr = run_with ~random:false in
+  Output.print_table
+    ~columns:[ "load"; "p99 randomized"; "p99 round-robin" ]
+    ~rows:
+      (List.map2
+         (fun (load, a) (_, b) -> [ Output.f2 load; Output.f1 a; Output.f1 b ])
+         random rr)
+
+let ablate_batch ~scale =
+  Output.print_header "Ablation: IX bounded-batching B sweep (fixed 10us tasks)";
+  let service = Dist.deterministic 10. in
+  let loads = [ 0.5; 0.7; 0.85; 0.93 ] in
+  let rows =
+    List.concat_map
+      (fun b ->
+        let cfg =
+          Run.config ~system:(Run.Ix b) ~service ~cores ~requests:(requests ~scale 20_000) ()
+        in
+        List.map
+          (fun load ->
+            let p = Run.run_point cfg ~load in
+            [ Printf.sprintf "B=%d" b; Output.f2 load; Output.f3 p.Run.throughput;
+              Output.f1 p.Run.p99 ])
+          loads)
+      [ 1; 2; 8; 64 ]
+  in
+  Output.print_table ~columns:[ "batch"; "load"; "tput(MRPS)"; "p99(us)" ] ~rows
+
+(* Extension (paper §2.3 Observation 2 / §7): FCFS is tail-optimal only
+   for low dispersion. A preemptive centralized scheduler — the design
+   direction of the follow-up Shinjuku line — recovers the PS advantage on
+   bimodal-2 at the price of context-switch overhead on benign
+   workloads. *)
+let ext_preempt ~scale =
+  Output.print_header
+    "Extension: preemptive scheduling vs FCFS under extreme dispersion (S = 10us)";
+  let systems = [ Run.Ix 1; Run.Zygos; Run.Preemptive 5.; Run.Preemptive 1. ] in
+  List.iter
+    (fun (label, service) ->
+      Output.print_subheader label;
+      let rows =
+        List.concat_map
+          (fun system ->
+            let cfg =
+              Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) ()
+            in
+            List.map
+              (fun load ->
+                let p = Run.run_point cfg ~load in
+                let preemptions =
+                  Option.value ~default:0. (List.assoc_opt "preemptions_per_request" p.Run.info)
+                in
+                [
+                  Run.system_name system;
+                  Output.f2 load;
+                  Output.f1 p.Run.p99;
+                  Output.f1 p.Run.p50;
+                  Output.f2 preemptions;
+                ])
+              [ 0.3; 0.5; 0.7 ])
+          systems
+      in
+      Output.print_table
+        ~columns:[ "system"; "load"; "p99(us)"; "p50(us)"; "preempts/req" ]
+        ~rows)
+    [
+      ("bimodal-2 (0.1% of requests are 500x the mean)", Dist.bimodal2 ~mean:10.);
+      ("deterministic (preemption cannot help, only cost)", Dist.deterministic 10.);
+    ]
+
+(* Extension (§5): RSS-reprogramming control plane against persistent
+   connection skew, vs static IX (suffers) and ZygOS (stealing absorbs
+   it). *)
+let ext_rebalance ~scale =
+  Output.print_header
+    "Extension: RSS control plane under persistent connection skew (exp, S = 10us)";
+  Printf.printf
+    "skew: 5%% of connections carry 50%% of the load; rebalance window 200us\n";
+  let service = Dist.exponential 10. in
+  let selection = Net.Loadgen.Hot_cold { hot_fraction = 0.05; hot_load = 0.5 } in
+  let systems = [ Run.Ix 1; Run.Ix_rebalanced 200.; Run.Zygos ] in
+  let rows =
+    List.concat_map
+      (fun system ->
+        let cfg =
+          Run.config ~system ~service ~cores ~requests:(requests ~scale 25_000) ~selection ()
+        in
+        List.map
+          (fun load ->
+            let p = Run.run_point cfg ~load in
+            let moves =
+              Option.value ~default:0. (List.assoc_opt "rebalance_moves" p.Run.info)
+            in
+            [
+              Run.system_name system;
+              Output.f2 load;
+              Output.f1 p.Run.p99;
+              Output.f3 p.Run.throughput;
+              string_of_int (int_of_float moves);
+              string_of_int p.Run.order_violations;
+            ])
+          [ 0.3; 0.5; 0.65; 0.8 ])
+      systems
+  in
+  Output.print_table
+    ~columns:[ "system"; "load"; "p99(us)"; "tput(MRPS)"; "slot moves"; "order violations" ]
+    ~rows
+
+(* Extension (§5): workload consolidation — the IX control plane's energy
+   proportionality function, on the centralized preemptive system where
+   core parking is safe. *)
+let ext_consolidate ~scale =
+  Output.print_header
+    "Extension: workload consolidation (core parking) vs static 16 cores (exp, S = 10us)";
+  let service = Dist.exponential 10. in
+  let run ~consolidate ~load =
+    let sim = Engine.Sim.create () in
+    let rng = Engine.Rng.create ~seed:42 in
+    let loadgen_rng = Engine.Rng.split rng in
+    let rate = load *. float_of_int cores /. Dist.mean service in
+    let gen = Net.Loadgen.create sim ~rng:loadgen_rng ~conns:2752 ~rate ~service () in
+    let params = Systems.Params.default ~cores () in
+    let consolidate =
+      if consolidate then Some Systems.Preemptive.default_consolidation else None
+    in
+    let system =
+      Systems.Preemptive.create sim params ~quantum:10. ~switch_cost:0.3 ~conns:2752
+        ~respond:(fun req -> Net.Loadgen.complete gen req)
+        ?consolidate ()
+    in
+    Net.Loadgen.set_target gen system.Systems.Iface.submit;
+    let measure = float_of_int (requests ~scale 25_000) /. rate in
+    Net.Loadgen.start gen ~warmup:(0.2 *. measure) ~measure;
+    Engine.Sim.run sim;
+    let p99 = Stats.Tally.p99 (Net.Loadgen.tally gen) in
+    let avg_cores =
+      Option.value ~default:(float_of_int cores)
+        (Systems.Iface.info_value system "avg_active_cores")
+    in
+    (p99, avg_cores)
+  in
+  let rows =
+    List.map
+      (fun load ->
+        let static_p99, _ = run ~consolidate:false ~load in
+        let cons_p99, avg = run ~consolidate:true ~load in
+        [ Output.f2 load; Output.f1 static_p99; Output.f1 cons_p99; Output.f1 avg ])
+      [ 0.1; 0.2; 0.35; 0.5; 0.7; 0.85 ]
+  in
+  Output.print_table
+    ~columns:[ "load"; "p99 static(us)"; "p99 consolidated(us)"; "avg active cores" ]
+    ~rows
+
+let all_targets =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10a", fig10a);
+    ("fig10b", fig10b);
+    ("table1", table1);
+    ("fig11", fig11);
+    ("ablate-poll", ablate_poll);
+    ("ablate-batch", ablate_batch);
+    ("ext-preempt", ext_preempt);
+    ("ext-rebalance", ext_rebalance);
+    ("ext-consolidate", ext_consolidate);
+  ]

@@ -1,0 +1,38 @@
+let print_header title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let print_subheader title = Printf.printf "\n--- %s ---\n" title
+
+let print_table ~columns ~rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length columns then
+        invalid_arg "Output.print_table: row arity mismatch")
+    rows;
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Printf.printf "%s%s  " cell (String.make (w - String.length cell) ' '))
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)

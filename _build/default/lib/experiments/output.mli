@@ -1,0 +1,19 @@
+(** Plain-text table/series rendering for the benchmark harness. *)
+
+val print_header : string -> unit
+(** Boxed section title. *)
+
+val print_subheader : string -> unit
+
+val print_table : columns:string list -> rows:string list list -> unit
+(** Aligned columns; every row must have the arity of [columns]. *)
+
+val f1 : float -> string
+(** Format helpers: fixed decimals. *)
+
+val f2 : float -> string
+
+val f3 : float -> string
+
+val pct : float -> string
+(** 0.753 -> "75.3%". *)

@@ -1,0 +1,174 @@
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+
+type system_kind =
+  | Linux_partitioned
+  | Linux_floating
+  | Ix of int
+  | Zygos
+  | Zygos_no_interrupts
+  | Preemptive of float
+  | Ix_rebalanced of float
+  | Model_central_fcfs
+  | Model_partitioned_fcfs
+
+let system_name = function
+  | Linux_partitioned -> "linux-partitioned"
+  | Linux_floating -> "linux-floating"
+  | Ix 1 -> "ix"
+  | Ix b -> Printf.sprintf "ix-b%d" b
+  | Zygos -> "zygos"
+  | Zygos_no_interrupts -> "zygos-noint"
+  | Preemptive q -> Printf.sprintf "preempt-q%g" q
+  | Ix_rebalanced _ -> "ix-rebalanced"
+  | Model_central_fcfs -> "M/G/n/FCFS"
+  | Model_partitioned_fcfs -> "nxM/G/1/FCFS"
+
+let all_real_systems =
+  [ Linux_partitioned; Linux_floating; Ix 1; Zygos; Zygos_no_interrupts ]
+
+type config = {
+  system : system_kind;
+  cores : int;
+  conns : int;
+  service : Engine.Dist.t;
+  requests : int;
+  seed : int;
+  rpc_packets : int;
+  selection : Net.Loadgen.conn_selection;
+}
+
+let config ?(cores = 16) ?(conns = 2752) ?(requests = 30_000) ?(seed = 42) ?(rpc_packets = 1)
+    ?(selection = Net.Loadgen.Uniform) ~system ~service () =
+  { system; cores; conns; service; requests; seed; rpc_packets; selection }
+
+type point = {
+  load : float;
+  offered_rate : float;
+  throughput : float;
+  mean : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  completed : int;
+  order_violations : int;
+  info : (string * float) list;
+}
+
+let point_of_tally ~load ~offered_rate ~throughput ~order_violations ~info tally =
+  let empty = Stats.Tally.is_empty tally in
+  {
+    load;
+    offered_rate;
+    throughput;
+    mean = Stats.Tally.mean tally;
+    p50 = (if empty then 0. else Stats.Tally.p50 tally);
+    p99 = (if empty then 0. else Stats.Tally.p99 tally);
+    p999 = (if empty then 0. else Stats.Tally.p999 tally);
+    completed = Stats.Tally.count tally;
+    order_violations;
+    info;
+  }
+
+let run_model_point cfg ~load ~spec =
+  let result =
+    Models.Queueing.simulate spec ~service:cfg.service ~load ~requests:cfg.requests
+      ~seed:cfg.seed
+  in
+  let offered_rate = load *. float_of_int cfg.cores /. Dist.mean cfg.service in
+  point_of_tally ~load ~offered_rate ~throughput:result.Models.Queueing.throughput
+    ~order_violations:0 ~info:[] result.Models.Queueing.latencies
+
+let run_real_point cfg ~load =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:cfg.seed in
+  let loadgen_rng = Rng.split rng in
+  let system_rng = Rng.split rng in
+  let mean = Dist.mean cfg.service in
+  let rate = load *. float_of_int cfg.cores /. mean in
+  let gen =
+    Net.Loadgen.create sim ~rng:loadgen_rng ~conns:cfg.conns ~rate ~service:cfg.service
+      ~selection:cfg.selection ()
+  in
+  let respond req = Net.Loadgen.complete gen req in
+  let params =
+    Systems.Params.with_rpc_packets (Systems.Params.default ~cores:cfg.cores ()) cfg.rpc_packets
+  in
+  let extra_info = ref (fun () -> []) in
+  let system =
+    match cfg.system with
+    | Linux_partitioned -> Systems.Linux.partitioned sim params ~conns:cfg.conns ~respond
+    | Linux_floating -> Systems.Linux.floating sim params ~conns:cfg.conns ~respond
+    | Ix b -> Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~conns:cfg.conns ~respond
+    | Zygos -> Systems.Zygos.create sim params ~rng:system_rng ~conns:cfg.conns ~respond ()
+    | Zygos_no_interrupts ->
+        Systems.Zygos.create sim
+          (Systems.Params.no_interrupts params)
+          ~rng:system_rng ~conns:cfg.conns ~respond ()
+    | Preemptive quantum ->
+        Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~conns:cfg.conns
+          ~respond ()
+    | Ix_rebalanced window ->
+        let rss = Net.Rss.create ~queues:cfg.cores () in
+        let iface, read_counts =
+          Systems.Ix.create_with_rss sim params ~rss ~conns:cfg.conns ~respond
+        in
+        let stats =
+          Systems.Rebalance.attach sim ~rss ~queues:cfg.cores ~read_counts ~window ()
+        in
+        extra_info :=
+          (fun () ->
+            [
+              ("rebalance_moves", float_of_int stats.Systems.Rebalance.moves);
+              ("rebalance_windows", float_of_int stats.Systems.Rebalance.windows);
+            ]);
+        { iface with Systems.Iface.name = "ix-rebalanced" }
+    | Model_central_fcfs | Model_partitioned_fcfs -> assert false
+  in
+  Net.Loadgen.set_target gen (fun req -> system.Systems.Iface.submit req);
+  let measure = float_of_int cfg.requests /. rate in
+  let warmup = 0.2 *. measure in
+  Net.Loadgen.start gen ~warmup ~measure;
+  Sim.run sim;
+  point_of_tally ~load ~offered_rate:rate ~throughput:(Net.Loadgen.throughput gen)
+    ~order_violations:(Net.Loadgen.order_violations gen)
+    ~info:(system.Systems.Iface.info () @ !extra_info ())
+    (Net.Loadgen.tally gen)
+
+let run_point cfg ~load =
+  match cfg.system with
+  | Model_central_fcfs ->
+      run_model_point cfg ~load
+        ~spec:
+          Models.Queueing.{ servers = cfg.cores; policy = Fcfs; topology = Central }
+  | Model_partitioned_fcfs ->
+      run_model_point cfg ~load
+        ~spec:
+          Models.Queueing.{ servers = cfg.cores; policy = Fcfs; topology = Partitioned }
+  | _ -> run_real_point cfg ~load
+
+let sweep cfg ~loads = List.map (fun load -> run_point cfg ~load) loads
+
+let max_load_at_slo cfg ~slo_p99 ?(resolution = 0.01) () =
+  let meets point = point.completed > 0 && point.p99 <= slo_p99 in
+  let lowest = run_point cfg ~load:0.02 in
+  if not (meets lowest) then (0., lowest)
+  else begin
+    let highest = run_point cfg ~load:0.99 in
+    if meets highest then (0.99, highest)
+    else begin
+      let lo = ref 0.02 and hi = ref 0.99 in
+      let best = ref lowest in
+      while !hi -. !lo > resolution do
+        let mid = (!lo +. !hi) /. 2. in
+        let point = run_point cfg ~load:mid in
+        if meets point then begin
+          lo := mid;
+          best := point
+        end
+        else hi := mid
+      done;
+      (!lo, !best)
+    end
+  end

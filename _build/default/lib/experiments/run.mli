@@ -1,0 +1,78 @@
+(** Single-experiment runner: one (system, service distribution, load)
+    point, measured exactly like the paper's §3.1 methodology — open-loop
+    Poisson arrivals over many connections, client-side latency, p99 tails.
+
+    Loads are expressed as a fraction of the zero-overhead saturation
+    capacity [cores / mean_service], so "load 0.8 for 10µs tasks on 16
+    cores" means 1.28 requests/µs offered, for every system — real systems
+    saturate below 1.0 because of their per-request overheads, exactly as
+    in Figures 3, 6 and 7. *)
+
+type system_kind =
+  | Linux_partitioned
+  | Linux_floating
+  | Ix of int  (** bounded-batching parameter B *)
+  | Zygos
+  | Zygos_no_interrupts
+  | Preemptive of float
+      (** centralized preemptive scheduling with the given quantum (µs) —
+          the §2.3 "PS wins under extreme dispersion" extension *)
+  | Ix_rebalanced of float
+      (** IX with an RSS-reprogramming control plane, window in µs — the
+          §5 "control plane interactions" extension *)
+  | Model_central_fcfs  (** zero-overhead M/G/n/FCFS bound *)
+  | Model_partitioned_fcfs  (** zero-overhead n×M/G/1/FCFS bound *)
+
+val system_name : system_kind -> string
+
+val all_real_systems : system_kind list
+(** The five simulated servers (both IX batchings excluded): partitioned,
+    floating, IX(B=1), ZygOS, ZygOS-no-interrupts. *)
+
+type config = {
+  system : system_kind;
+  cores : int;  (** default 16 *)
+  conns : int;  (** default 2752, the paper's connection count *)
+  service : Engine.Dist.t;
+  requests : int;  (** measured request target per point (default 30_000) *)
+  seed : int;
+  rpc_packets : int;  (** packets per request each way (default 1) *)
+  selection : Net.Loadgen.conn_selection;  (** default [Uniform] *)
+}
+
+val config :
+  ?cores:int ->
+  ?conns:int ->
+  ?requests:int ->
+  ?seed:int ->
+  ?rpc_packets:int ->
+  ?selection:Net.Loadgen.conn_selection ->
+  system:system_kind ->
+  service:Engine.Dist.t ->
+  unit ->
+  config
+
+type point = {
+  load : float;  (** offered load (fraction of zero-overhead capacity) *)
+  offered_rate : float;  (** requests/µs offered *)
+  throughput : float;  (** requests/µs completed in the measure window *)
+  mean : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  completed : int;
+  order_violations : int;
+  info : (string * float) list;  (** system counters, see {!Systems.Iface} *)
+}
+
+val run_point : config -> load:float -> point
+(** Run one simulation at the given offered load. Deterministic in
+    [config.seed]. *)
+
+val sweep : config -> loads:float list -> point list
+(** One point per load (ascending recommended), fresh simulation each. *)
+
+val max_load_at_slo : config -> slo_p99:float -> ?resolution:float -> unit -> float * point
+(** Bisection for the highest load whose p99 meets [slo_p99]; returns the
+    load (0. when even 2% load violates) and the measured point at that
+    load. Resolution defaults to 0.01 of capacity. *)

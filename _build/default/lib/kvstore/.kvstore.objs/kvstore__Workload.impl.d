@@ -1,0 +1,1 @@
+lib/kvstore/workload.ml: Array Engine Float Printf Protocol Store String

@@ -1,0 +1,1 @@
+lib/kvstore/workload.mli: Engine Protocol Store

@@ -1,0 +1,113 @@
+type command =
+  | Get of string
+  | Set of { key : string; flags : int; exptime : int; data : string }
+  | Delete of string
+
+(* The parser is a resumable state machine: either waiting for a command
+   line, or waiting for the <bytes>+2 data block of a set. *)
+type mode = Line | Data of { key : string; flags : int; exptime : int; bytes : int }
+
+type parser_state = { buf : Buffer.t; mutable consumed : int; mutable mode : mode }
+
+let create_parser () = { buf = Buffer.create 256; consumed = 0; mode = Line }
+
+(* Drop already-consumed bytes once they dominate the buffer. *)
+let compact t =
+  if t.consumed > 4096 && t.consumed * 2 > Buffer.length t.buf then begin
+    let rest = Buffer.sub t.buf t.consumed (Buffer.length t.buf - t.consumed) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    t.consumed <- 0
+  end
+
+let pending_bytes t = Buffer.length t.buf - t.consumed
+
+(* Find "\r\n" starting at [from]; return the index of '\r'. *)
+let find_crlf t from =
+  let len = Buffer.length t.buf in
+  let rec loop i =
+    if i + 1 >= len then None
+    else if Buffer.nth t.buf i = '\r' && Buffer.nth t.buf (i + 1) = '\n' then Some i
+    else loop (i + 1)
+  in
+  loop from
+
+let parse_command_line line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ ("get" | "gets"); key ] -> Ok (`Get key)
+  | [ "delete"; key ] -> Ok (`Delete key)
+  | [ "set"; key; flags; exptime; bytes ] -> (
+      match (int_of_string_opt flags, int_of_string_opt exptime, int_of_string_opt bytes) with
+      | Some flags, Some exptime, Some bytes when bytes >= 0 ->
+          Ok (`Set (key, flags, exptime, bytes))
+      | _ -> Error ("bad set arguments: " ^ line))
+  | [] -> Error "empty command"
+  | cmd :: _ -> Error ("unknown command: " ^ cmd)
+
+let feed t chunk =
+  Buffer.add_string t.buf chunk;
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    match t.mode with
+    | Line -> (
+        match find_crlf t t.consumed with
+        | None -> ()
+        | Some cr ->
+            let line = Buffer.sub t.buf t.consumed (cr - t.consumed) in
+            t.consumed <- cr + 2;
+            progress := true;
+            (match parse_command_line line with
+            | Ok (`Get key) -> emit (Ok (Get key))
+            | Ok (`Delete key) -> emit (Ok (Delete key))
+            | Ok (`Set (key, flags, exptime, bytes)) ->
+                t.mode <- Data { key; flags; exptime; bytes }
+            | Error e -> emit (Error e)))
+    | Data { key; flags; exptime; bytes } ->
+        if pending_bytes t >= bytes + 2 then begin
+          let data = Buffer.sub t.buf t.consumed bytes in
+          let term = Buffer.sub t.buf (t.consumed + bytes) 2 in
+          t.consumed <- t.consumed + bytes + 2;
+          t.mode <- Line;
+          progress := true;
+          if String.equal term "\r\n" then emit (Ok (Set { key; flags; exptime; data }))
+          else emit (Error "set data not terminated by CRLF")
+        end
+  done;
+  compact t;
+  List.rev !out
+
+let render_command = function
+  | Get key -> Printf.sprintf "get %s\r\n" key
+  | Delete key -> Printf.sprintf "delete %s\r\n" key
+  | Set { key; flags; exptime; data } ->
+      Printf.sprintf "set %s %d %d %d\r\n%s\r\n" key flags exptime (String.length data) data
+
+type response =
+  | Value of { key : string; flags : int; data : string }
+  | Not_found_resp
+  | Stored
+  | Deleted
+  | Client_error of string
+
+let render_response ~cmd response =
+  match response with
+  | Value { key; flags; data } ->
+      Printf.sprintf "VALUE %s %d %d\r\n%s\r\nEND\r\n" key flags (String.length data) data
+  | Not_found_resp -> (
+      match cmd with Get _ -> "END\r\n" | Delete _ | Set _ -> "NOT_FOUND\r\n")
+  | Stored -> "STORED\r\n"
+  | Deleted -> "DELETED\r\n"
+  | Client_error e -> Printf.sprintf "CLIENT_ERROR %s\r\n" e
+
+let execute store = function
+  | Get key -> (
+      match Store.get store key with
+      | Some data -> Value { key; flags = 0; data }
+      | None -> Not_found_resp)
+  | Set { key; data; _ } ->
+      Store.set store key data;
+      Stored
+  | Delete key -> if Store.delete store key then Deleted else Not_found_resp

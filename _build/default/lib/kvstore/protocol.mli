@@ -1,0 +1,44 @@
+(** memcached text protocol: resumable request parser and response writer.
+
+    The parser consumes a TCP byte stream in arbitrary chunks (requests
+    routinely straddle packet boundaries) and yields complete commands.
+    This framing is exactly what §6.2 says ZygOS cannot see ("ZygOS doesn't
+    know the boundaries of the requests in the TCP byte stream") — the
+    parser lives in application code, after scheduling.
+
+    Supported commands: [get]/[gets] (single key), [set], [delete] — the
+    operations the ETC/USR workloads exercise. *)
+
+type command =
+  | Get of string
+  | Set of { key : string; flags : int; exptime : int; data : string }
+  | Delete of string
+
+type parser_state
+(** Buffers partial input across [feed] calls. *)
+
+val create_parser : unit -> parser_state
+
+val feed : parser_state -> string -> (command, string) result list
+(** Append a chunk and return every command completed by it, in order.
+    [Error reason] marks a malformed line (the line is consumed; parsing
+    continues at the next line, like memcached's CLIENT_ERROR). *)
+
+val pending_bytes : parser_state -> int
+(** Bytes buffered waiting for more input. *)
+
+val render_command : command -> string
+(** Wire encoding of a command (for clients / tests). *)
+
+type response =
+  | Value of { key : string; flags : int; data : string }  (** GET hit ends with END *)
+  | Not_found_resp  (** GET miss: bare END; DELETE miss: NOT_FOUND *)
+  | Stored
+  | Deleted
+  | Client_error of string
+
+val render_response : cmd:command -> response -> string
+(** Wire encoding of the server's reply to [cmd]. *)
+
+val execute : Store.t -> command -> response
+(** Apply a command to a store. *)

@@ -1,0 +1,96 @@
+type entry = { key : string; mutable value : string; mutable referenced : bool }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : entry array;  (* CLOCK ring; length = capacity *)
+  mutable clock_used : int;  (* slots of [clock] in use *)
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable set_count : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Store.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    clock = [||];
+    clock_used = 0;
+    hand = 0;
+    hits = 0;
+    misses = 0;
+    set_count = 0;
+    evictions = 0;
+  }
+
+let get t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.referenced <- true;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Advance the CLOCK hand to a victim slot: clear reference bits until an
+   unreferenced entry is found (guaranteed to terminate within two laps). *)
+let evict_one t =
+  let rec loop () =
+    let e = t.clock.(t.hand) in
+    if e.referenced then begin
+      e.referenced <- false;
+      t.hand <- (t.hand + 1) mod t.clock_used;
+      loop ()
+    end
+    else begin
+      Hashtbl.remove t.table e.key;
+      t.evictions <- t.evictions + 1;
+      t.hand (* slot index to reuse *)
+    end
+  in
+  loop ()
+
+let set t key value =
+  t.set_count <- t.set_count + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.value <- value;
+      e.referenced <- true
+  | None ->
+      let e = { key; value; referenced = true } in
+      if t.clock_used < t.capacity then begin
+        if Array.length t.clock = 0 then t.clock <- Array.make t.capacity e
+        else t.clock.(t.clock_used) <- e;
+        t.clock_used <- t.clock_used + 1
+      end
+      else begin
+        let slot = evict_one t in
+        t.clock.(slot) <- e;
+        t.hand <- (slot + 1) mod t.clock_used
+      end;
+      Hashtbl.replace t.table key e
+
+let delete t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      (* Leave the clock slot in place; the dead entry is skipped when the
+         hand reaches it because its key is no longer in the table. *)
+      Hashtbl.remove t.table key;
+      e.referenced <- false;
+      true
+  | None -> false
+
+let mem t key = Hashtbl.mem t.table key
+
+let size t = Hashtbl.length t.table
+
+let capacity t = t.capacity
+
+type stats = { hits : int; misses : int; sets : int; evictions : int }
+
+let stats (t : t) =
+  ({ hits = t.hits; misses = t.misses; sets = t.set_count; evictions = t.evictions } : stats)

@@ -1,0 +1,29 @@
+(** In-memory key-value store (the reproduction's memcached core).
+
+    A bounded hash table with CLOCK-style second-chance eviction — the
+    behaviourally relevant parts of memcached for §6.2: O(1) GET/SET on
+    tiny keys, bounded memory, evictions under pressure. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the maximum number of resident entries (default
+    65536). *)
+
+val get : t -> string -> string option
+
+val set : t -> string -> string -> unit
+(** Insert or overwrite; evicts via CLOCK when at capacity. *)
+
+val delete : t -> string -> bool
+(** [true] if the key was present. *)
+
+val mem : t -> string -> bool
+
+val size : t -> int
+
+val capacity : t -> int
+
+type stats = { hits : int; misses : int; sets : int; evictions : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/models/queueing.ml: Array Engine Float List Printf Queue Stats

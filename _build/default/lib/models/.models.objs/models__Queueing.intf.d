@@ -1,0 +1,1 @@
+lib/models/queueing.mli: Engine Stats

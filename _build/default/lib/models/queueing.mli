@@ -1,0 +1,57 @@
+(** Idealized, zero-overhead queueing models (§2.3, Figure 1/2).
+
+    Four open-loop models in Kendall notation, all with Poisson arrivals:
+
+    - centralized-FCFS, M/G/n/FCFS: one global FIFO feeding n processors —
+      idealizes floating-connection event-driven servers and ZygOS;
+    - partitioned-FCFS, n×M/G/1/FCFS: a random selector in front of n
+      single-processor FIFOs — idealizes shared-nothing dataplanes (IX) and
+      partitioned epoll servers;
+    - M/G/n/PS: n processors perfectly shared by all jobs (each job runs at
+      rate min(1, n/k) with k jobs present) — idealizes thread-per-connection
+      on a rebalancing time-sharing OS;
+    - n×M/G/1/PS: random selector in front of n single-processor PS
+      stations.
+
+    These models have no system overheads of any kind; they provide the
+    grey upper-bound lines of Figures 3 and 7 and the four curves of
+    Figure 2. *)
+
+type policy = Fcfs | Ps
+
+type topology = Central | Partitioned
+
+type spec = { servers : int; policy : policy; topology : topology }
+
+val name : spec -> string
+(** Kendall-style label, e.g. ["M/G/16/FCFS"] or ["16xM/G/1/PS"]. *)
+
+type result = {
+  latencies : Stats.Tally.t;  (** sojourn times of measured jobs *)
+  throughput : float;  (** measured completions per unit time *)
+  offered_load : float;  (** the requested λ·S̄/n *)
+}
+
+val simulate :
+  spec ->
+  service:Engine.Dist.t ->
+  load:float ->
+  requests:int ->
+  seed:int ->
+  result
+(** [simulate spec ~service ~load ~requests ~seed] runs the model at
+    offered load [load] (fraction of saturation; λ = load·n/S̄) until
+    [requests] measured jobs complete. A warmup of [requests/5] jobs
+    precedes measurement. Deterministic in [seed]. *)
+
+val max_load_at_slo :
+  spec ->
+  service:Engine.Dist.t ->
+  slo_p99:float ->
+  ?requests:int ->
+  ?seed:int ->
+  unit ->
+  float
+(** Highest offered load (fraction of saturation, resolution 0.01) whose
+    measured p99 sojourn time meets [slo_p99], found by bisection. This is
+    how the paper computes e.g. "96.3% for centralized-FCFS" (§3.1). *)

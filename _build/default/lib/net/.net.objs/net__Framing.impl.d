@@ -1,0 +1,1 @@
+lib/net/framing.ml: Buffer Bytes Float Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/net/loadgen.ml: Array Engine Queue Request Stats

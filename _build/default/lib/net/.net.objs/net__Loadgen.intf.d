@@ -1,0 +1,1 @@
+lib/net/loadgen.mli: Engine Request Stats

@@ -1,0 +1,1 @@
+lib/net/request.ml: Format

@@ -1,0 +1,99 @@
+let max_message = 16 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_message then invalid_arg "Framing.encode: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let segment ?(mtu = 1460) stream =
+  if mtu < 1 then invalid_arg "Framing.segment: mtu < 1";
+  let len = String.length stream in
+  let rec loop off acc =
+    if off >= len then List.rev acc
+    else begin
+      let n = min mtu (len - off) in
+      loop (off + n) (String.sub stream off n :: acc)
+    end
+  in
+  loop 0 []
+
+let packets_per_message ?(mtu = 1460) payload_size =
+  if payload_size < 0 then invalid_arg "Framing.packets_per_message: negative size";
+  let wire = 4 + payload_size in
+  (wire + mtu - 1) / mtu
+
+module Reassembler = struct
+  type t = { buf : Buffer.t; mutable consumed : int }
+
+  let create () = { buf = Buffer.create 256; consumed = 0 }
+
+  let pending_bytes t = Buffer.length t.buf - t.consumed
+
+  let compact t =
+    if t.consumed > 4096 && t.consumed * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.consumed (Buffer.length t.buf - t.consumed) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.consumed <- 0
+    end
+
+  let peek_len t =
+    if pending_bytes t < 4 then None
+    else begin
+      let b = Bytes.create 4 in
+      for i = 0 to 3 do
+        Bytes.set b i (Buffer.nth t.buf (t.consumed + i))
+      done;
+      Some (Int32.to_int (Bytes.get_int32_be b 0))
+    end
+
+  let feed t packet =
+    Buffer.add_string t.buf packet;
+    let rec drain acc =
+      match peek_len t with
+      | None -> Ok (List.rev acc)
+      | Some n when n < 0 || n > max_message ->
+          Error (Printf.sprintf "corrupt length prefix: %d" n)
+      | Some n ->
+          if pending_bytes t < 4 + n then Ok (List.rev acc)
+          else begin
+            let payload = Buffer.sub t.buf (t.consumed + 4) n in
+            t.consumed <- t.consumed + 4 + n;
+            drain (payload :: acc)
+          end
+    in
+    let r = drain [] in
+    compact t;
+    r
+end
+
+module Spin = struct
+  type request = { id : int; spin_us : float }
+
+  let encode_request { id; spin_us } =
+    let b = Bytes.create 16 in
+    Bytes.set_int64_be b 0 (Int64.of_int id);
+    Bytes.set_int64_be b 8 (Int64.bits_of_float spin_us);
+    encode (Bytes.unsafe_to_string b)
+
+  let decode_request payload =
+    if String.length payload <> 16 then Error "spin request must be 16 bytes"
+    else begin
+      let id = Int64.to_int (String.get_int64_be payload 0) in
+      let spin_us = Int64.float_of_bits (String.get_int64_be payload 8) in
+      if Float.is_nan spin_us || spin_us < 0. then Error "invalid spin duration"
+      else Ok { id; spin_us }
+    end
+
+  let encode_response { id; _ } =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 (Int64.of_int id);
+    encode (Bytes.unsafe_to_string b)
+
+  let decode_response payload =
+    if String.length payload <> 8 then Error "spin response must be 8 bytes"
+    else Ok (Int64.to_int (String.get_int64_be payload 0))
+end

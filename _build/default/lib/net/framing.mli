@@ -1,0 +1,60 @@
+(** Binary RPC framing over a byte stream: the application-level job the
+    paper's servers all perform ("identify RPC boundaries", §2.1) and the
+    reason ZygOS cannot re-split work inside a connection ("ZygOS doesn't
+    know the boundaries of the requests in the TCP byte stream", §6.2).
+
+    Wire format: each message is a 4-byte big-endian length followed by
+    the payload. {!segment} splits an encoded stream into MTU-sized
+    packets, and {!Reassembler} is the per-connection state machine that
+    turns arbitrarily fragmented packets back into complete messages — in
+    order, across any packetization.
+
+    {!Spin} is the paper's synthetic microbenchmark protocol on top: a
+    request carries an id and a spin duration in µs (§3.1/§3.3). *)
+
+val max_message : int
+(** Maximum payload size accepted (16 MiB); larger lengths are treated as
+    stream corruption. *)
+
+val encode : string -> string
+(** Frame one payload (length prefix + bytes). Raises [Invalid_argument]
+    beyond {!max_message}. *)
+
+val segment : ?mtu:int -> string -> string list
+(** Split a wire stream into packets of at most [mtu] bytes (default
+    1460, an Ethernet TCP segment). Raises [Invalid_argument] if
+    [mtu < 1]. The concatenation of the result is the input. *)
+
+val packets_per_message : ?mtu:int -> int -> int
+(** How many packets a message of the given payload size occupies — the
+    systems' [rpc_packets] parameter for a given workload. *)
+
+module Reassembler : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> (string list, string) result
+  (** Consume one packet (any fragmentation); returns the payloads
+      completed by it, in stream order, or [Error reason] on a corrupt
+      length prefix (the stream is then unusable). *)
+
+  val pending_bytes : t -> int
+  (** Bytes buffered awaiting the rest of a message. *)
+end
+
+(** The synthetic microbenchmark RPC: "spin for this long, then reply". *)
+module Spin : sig
+  type request = { id : int; spin_us : float }
+
+  val encode_request : request -> string
+  (** Framed wire bytes of a request. *)
+
+  val decode_request : string -> (request, string) result
+  (** Decode one reassembled payload. *)
+
+  val encode_response : request -> string
+  (** Framed response echoing the id. *)
+
+  val decode_response : string -> (int, string) result
+end

@@ -1,0 +1,153 @@
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+
+type conn_selection =
+  | Uniform
+  | Hot_cold of { hot_fraction : float; hot_load : float }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  conns : int;
+  rate : float;
+  service : Dist.t;
+  selection : conn_selection;
+  service_fn : (conn:int -> float) option;
+  mutable target : (Request.t -> unit) option;
+  mutable next_id : int;
+  mutable generated : int;
+  mutable measured_generated : int;
+  mutable measured_completed : int;
+  mutable order_violations : int;
+  mutable measure_span : float;
+  mutable measure_start : float;
+  mutable measure_end : float;
+  mutable window_completions : int;
+  latencies : Stats.Tally.t;
+  outstanding : int Queue.t array;  (* per-conn FIFO of pending request ids *)
+}
+
+let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn () =
+  if conns < 1 then invalid_arg "Loadgen.create: conns < 1";
+  if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
+  (match selection with
+  | Uniform -> ()
+  | Hot_cold { hot_fraction; hot_load } ->
+      if hot_fraction <= 0. || hot_fraction >= 1. || hot_load <= 0. || hot_load >= 1. then
+        invalid_arg "Loadgen.create: Hot_cold fractions must be in (0, 1)");
+  {
+    sim;
+    rng;
+    conns;
+    rate;
+    service;
+    selection;
+    service_fn;
+    target = None;
+    next_id = 0;
+    generated = 0;
+    measured_generated = 0;
+    measured_completed = 0;
+    order_violations = 0;
+    measure_span = 0.;
+    measure_start = infinity;
+    measure_end = infinity;
+    window_completions = 0;
+    latencies = Stats.Tally.create ();
+    outstanding = Array.init conns (fun _ -> Queue.create ());
+  }
+
+let set_target t f = t.target <- Some f
+
+let emit t ~measure_start ~stop_at =
+  let target =
+    match t.target with
+    | Some f -> f
+    | None -> invalid_arg "Loadgen: no target set"
+  in
+  let now = Sim.now t.sim in
+  let conn =
+    match t.selection with
+    | Uniform -> Rng.int t.rng t.conns
+    | Hot_cold { hot_fraction; hot_load } ->
+        let hot_count = max 1 (int_of_float (hot_fraction *. float_of_int t.conns)) in
+        if Rng.bernoulli t.rng hot_load then Rng.int t.rng hot_count
+        else if t.conns > hot_count then hot_count + Rng.int t.rng (t.conns - hot_count)
+        else Rng.int t.rng t.conns
+  in
+  let service =
+    match t.service_fn with
+    | Some f -> f ~conn
+    | None -> Dist.sample t.service t.rng
+  in
+  let measured = now >= measure_start && now < stop_at in
+  let req = Request.make ~id:t.next_id ~conn ~arrival:now ~service ~measured in
+  t.next_id <- t.next_id + 1;
+  t.generated <- t.generated + 1;
+  if measured then t.measured_generated <- t.measured_generated + 1;
+  Queue.add req.Request.id t.outstanding.(conn);
+  target req
+
+let start t ~warmup ~measure =
+  if t.target = None then invalid_arg "Loadgen.start: no target set";
+  if measure <= 0. then invalid_arg "Loadgen.start: measure <= 0";
+  let t0 = Sim.now t.sim in
+  let measure_start = t0 +. warmup in
+  let stop_at = measure_start +. measure in
+  t.measure_span <- measure;
+  t.measure_start <- measure_start;
+  t.measure_end <- stop_at;
+  let rec arrival () =
+    if Sim.now t.sim < stop_at then begin
+      emit t ~measure_start ~stop_at;
+      let gap = Rng.exponential t.rng ~mean:(1. /. t.rate) in
+      ignore (Sim.schedule_after t.sim ~delay:gap arrival : Sim.handle)
+    end
+  in
+  let first_gap = Rng.exponential t.rng ~mean:(1. /. t.rate) in
+  ignore (Sim.schedule_after t.sim ~delay:first_gap arrival : Sim.handle)
+
+let complete t (req : Request.t) =
+  if Request.is_completed req then invalid_arg "Loadgen.complete: already completed";
+  req.Request.completion <- Sim.now t.sim;
+  (* Per-connection ordering check (§4.3): the completed request must be
+     the oldest outstanding one on its connection. *)
+  let q = t.outstanding.(req.Request.conn) in
+  (match Queue.take_opt q with
+  | Some id when id = req.Request.id -> ()
+  | Some _ | None ->
+      t.order_violations <- t.order_violations + 1;
+      (* Drop the stale entry for this id so the queue does not grow. *)
+      let keep = Queue.create () in
+      Queue.iter (fun id -> if id <> req.Request.id then Queue.add id keep) q;
+      Queue.clear q;
+      Queue.transfer keep q);
+  (* Achieved throughput counts every completion inside the measurement
+     window, whichever request it belongs to — beyond saturation it
+     plateaus at the system's capacity instead of tracking the offered
+     rate. *)
+  let now = Sim.now t.sim in
+  if now >= t.measure_start && now < t.measure_end then
+    t.window_completions <- t.window_completions + 1;
+  if req.Request.measured then begin
+    if now < t.measure_end then t.measured_completed <- t.measured_completed + 1;
+    (* Latency is recorded for every measured request, so overload shows
+       up in the tail. *)
+    Stats.Tally.record t.latencies (Request.latency req)
+  end
+
+let tally t = t.latencies
+
+let generated t = t.generated
+
+let measured_generated t = t.measured_generated
+
+let measured_completed t = t.measured_completed
+
+let order_violations t = t.order_violations
+
+let throughput t =
+  if t.measure_span = 0. then 0. else float_of_int t.window_completions /. t.measure_span
+
+let conns t = t.conns

@@ -1,0 +1,81 @@
+(** Open-loop load generator (the reproduction's "mutilate").
+
+    Generates RPC requests with Poisson inter-arrival times at a target
+    aggregate rate, each on a uniformly random connection (§3.1: "incoming
+    requests follow a Poisson inter-arrival time on randomly-selected
+    connections"), with service demands drawn from a configurable
+    distribution. Because it is open-loop, arrivals never wait for
+    responses — a connection may accumulate several outstanding requests
+    (the pipelining that §6.2 discusses).
+
+    Latency is recorded client-side at response completion, but only for
+    requests that arrive inside the measurement window (warmup and drain
+    excluded). The generator also checks the paper's ordering guarantee:
+    responses on one connection must come back in request order (§4.3). *)
+
+type t
+
+(** How arrivals pick their connection. [Uniform] is the paper's §3.1
+    setup; [Hot_cold] models connection skew ("some clients request
+    substantially more data than the average", §2.3's persistent
+    imbalance): the first [hot_fraction] of connections receive
+    [hot_load] of the traffic. *)
+type conn_selection =
+  | Uniform
+  | Hot_cold of { hot_fraction : float; hot_load : float }
+
+val create :
+  Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  conns:int ->
+  rate:float ->
+  service:Engine.Dist.t ->
+  ?selection:conn_selection ->
+  ?service_fn:(conn:int -> float) ->
+  unit ->
+  t
+(** [rate] is in requests per µs (e.g. 1.0 = 1 MRPS). The target server is
+    attached afterwards with {!set_target}. [selection] defaults to
+    [Uniform].
+
+    [service_fn], when given, overrides [service]: it is invoked once per
+    generated request to produce its service demand (µs). This is how real
+    application work is coupled into the simulation (see
+    {!Experiments.Appserve}): the function executes actual application
+    code — a Silo transaction, a memcached op — measures it, and the
+    simulated server then "serves" that measured demand. *)
+
+val set_target : t -> (Request.t -> unit) -> unit
+(** Where generated requests are delivered (the server's submit
+    function). Must be called before {!start}. *)
+
+val start : t -> warmup:float -> measure:float -> unit
+(** Schedule the arrival process: requests are generated from sim-time now
+    until [warmup + measure]; those arriving in [[warmup, warmup+measure))
+    are measured. Run the simulation afterwards to completion. *)
+
+val complete : t -> Request.t -> unit
+(** Called by the server when the response for [req] is on the wire.
+    Records latency for measured requests and verifies per-connection
+    ordering. Completing a request twice raises [Invalid_argument]. *)
+
+val tally : t -> Stats.Tally.t
+(** Latencies (µs) of measured, completed requests. *)
+
+val generated : t -> int
+(** Total requests generated (including warmup). *)
+
+val measured_generated : t -> int
+
+val measured_completed : t -> int
+
+val order_violations : t -> int
+(** Completions that came back out of order on their connection. Always 0
+    for a correct system model. *)
+
+val throughput : t -> float
+(** Achieved throughput: responses leaving the server {e during} the
+    measurement window, per µs. Beyond saturation this plateaus at system
+    capacity while latencies blow up. *)
+
+val conns : t -> int

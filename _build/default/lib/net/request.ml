@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  conn : int;
+  arrival : float;
+  service : float;
+  measured : bool;
+  mutable started : float;
+  mutable completion : float;
+}
+
+let make ~id ~conn ~arrival ~service ~measured =
+  { id; conn; arrival; service; measured; started = -1.; completion = -1. }
+
+let is_completed t = t.completion >= 0.
+
+let latency t =
+  if not (is_completed t) then invalid_arg "Request.latency: not completed";
+  t.completion -. t.arrival
+
+let pp ppf t =
+  Format.fprintf ppf "req#%d conn=%d arrival=%.3f service=%.3f completion=%.3f" t.id t.conn
+    t.arrival t.service t.completion

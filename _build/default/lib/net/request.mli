@@ -1,0 +1,25 @@
+(** A remote procedure call in flight.
+
+    Requests are created by the load generator ({!Loadgen}), carried through
+    a simulated server system (lib/systems), and completed when the response
+    is written back "on the wire". Latency is measured client-side as
+    [completion - arrival], exactly as the paper measures with mutilate. *)
+
+type t = {
+  id : int;  (** unique, increasing in arrival order *)
+  conn : int;  (** connection carrying this RPC *)
+  arrival : float;  (** sim time the request hits the server NIC (µs) *)
+  service : float;  (** application service demand (µs) *)
+  measured : bool;  (** inside the measurement window (not warmup/drain)? *)
+  mutable started : float;  (** sim time application execution began *)
+  mutable completion : float;  (** sim time the response was sent; -1 if pending *)
+}
+
+val make : id:int -> conn:int -> arrival:float -> service:float -> measured:bool -> t
+
+val latency : t -> float
+(** [completion - arrival]. Raises [Invalid_argument] if not completed. *)
+
+val is_completed : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  { capacity; queue = Queue.create (); dropped = 0 }
+
+let push t x =
+  if Queue.length t.queue >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add x t.queue;
+    true
+  end
+
+let pop t = Queue.take_opt t.queue
+
+let peek t = Queue.peek_opt t.queue
+
+let length t = Queue.length t.queue
+
+let is_empty t = Queue.is_empty t.queue
+
+let capacity t = t.capacity
+
+let drops t = t.dropped
+
+let iter f t = Queue.iter f t.queue

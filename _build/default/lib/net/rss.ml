@@ -1,0 +1,97 @@
+(* The default secret key Microsoft publishes with the RSS specification
+   (also the default of many NIC drivers). *)
+let default_key =
+  "\x6d\x5a\x56\xda\x25\x5b\x0e\xc2\x41\x67\x25\x3d\x43\xa3\x8f\xb0\xd0\xca\x2b\xcb\xae\x7b\x30\xb4\x77\xcb\x2d\xa3\x80\x30\xf2\x0c\x6a\x42\xb7\x3b\xbe\xac\x01\xfa"
+
+let indirection_entries = 128
+
+type t = { key : string; table : int array }
+
+let create ?(key = default_key) ~queues () =
+  if queues < 1 then invalid_arg "Rss.create: queues < 1";
+  if String.length key < 16 then invalid_arg "Rss.create: key too short";
+  let table = Array.init indirection_entries (fun i -> i mod queues) in
+  { key; table }
+
+let toeplitz ~key input =
+  let hash = ref 0l in
+  (* Sliding 32-bit window of the key, starting at its first 32 bits. *)
+  let key_bits i =
+    (* Bit [i] of the key, MSB-first. *)
+    let byte = Char.code key.[i / 8] in
+    byte lsr (7 - (i mod 8)) land 1
+  in
+  let key_window_at bit_pos =
+    let w = ref 0l in
+    for i = 0 to 31 do
+      w := Int32.logor (Int32.shift_left !w 1) (Int32.of_int (key_bits (bit_pos + i)))
+    done;
+    !w
+  in
+  let nbits = 8 * Bytes.length input in
+  if String.length key * 8 < nbits + 32 then invalid_arg "Rss.toeplitz: key too short for input";
+  for i = 0 to nbits - 1 do
+    let byte = Char.code (Bytes.get input (i / 8)) in
+    let bit = byte lsr (7 - (i mod 8)) land 1 in
+    if bit = 1 then hash := Int32.logxor !hash (key_window_at i)
+  done;
+  !hash
+
+let tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port =
+  let b = Bytes.create 12 in
+  let put32 off v =
+    Bytes.set b off (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+    Bytes.set b (off + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+    Bytes.set b (off + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+    Bytes.set b (off + 3) (Char.chr (Int32.to_int v land 0xff))
+  in
+  let put16 off v =
+    Bytes.set b off (Char.chr (v lsr 8 land 0xff));
+    Bytes.set b (off + 1) (Char.chr (v land 0xff))
+  in
+  put32 0 src_ip;
+  put32 4 dst_ip;
+  put16 8 src_port;
+  put16 10 dst_port;
+  b
+
+let queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
+  let h = toeplitz ~key:t.key (tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port) in
+  let idx = Int32.to_int (Int32.logand h 0x7fl) in
+  t.table.(idx)
+
+let conn_tuple c =
+  let src_ip =
+    Int32.logor 0x0A000000l (* 10.0.0.0 *)
+      (Int32.of_int (((c / 250) lsl 8) lor ((c mod 250) + 1)))
+  in
+  let src_port = 1024 + c in
+  (src_ip, 0x0A000001l, src_port, 8000)
+
+let queue_of_conn t c =
+  let src_ip, dst_ip, src_port, dst_port = conn_tuple c in
+  queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port
+
+let slots _t = indirection_entries
+
+let slot_of_conn t c =
+  let src_ip, dst_ip, src_port, dst_port = conn_tuple c in
+  let h = toeplitz ~key:t.key (tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port) in
+  Int32.to_int (Int32.logand h 0x7fl)
+
+let queue_of_slot t slot = t.table.(slot)
+
+let set_slot t ~slot ~queue =
+  if slot < 0 || slot >= indirection_entries then invalid_arg "Rss.set_slot: slot out of range";
+  if queue < 0 then invalid_arg "Rss.set_slot: negative queue";
+  t.table.(slot) <- queue
+
+let queues t = 1 + Array.fold_left max 0 t.table
+
+let histogram_of_conns t n =
+  let hist = Array.make (queues t) 0 in
+  for c = 0 to n - 1 do
+    let q = queue_of_conn t c in
+    hist.(q) <- hist.(q) + 1
+  done;
+  hist

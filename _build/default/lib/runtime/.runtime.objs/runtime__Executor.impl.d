@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Atomic Core Domain Engine Fun List Mutex Unix

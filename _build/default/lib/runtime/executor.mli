@@ -1,0 +1,46 @@
+(** Real multicore executor implementing the ZygOS scheduling discipline on
+    OCaml 5 domains.
+
+    This is the same shuffle-layer code the simulator runs
+    ({!Core.Sched.Mt_sched}, instantiated with real mutexes), executing
+    real closures on real domains: per-connection event queues, exclusive
+    per-connection batches, idle workers stealing from the other cores'
+    shuffle queues in randomized victim order. There are no IPIs — a
+    user-space runtime cannot interrupt a peer thread, so this executor
+    corresponds to the paper's cooperative "ZygOS (no interrupts)" variant
+    (§4.5 explains why the full design needs to live in the kernel).
+
+    Guarantees, inherited from {!Core.Sched} and checked by tests:
+    tasks of one connection never run concurrently and complete in
+    submission order; any task is eventually executed while at least one
+    worker lives (work conservation). *)
+
+type t
+
+val create : ?seed:int -> cores:int -> conns:int -> unit -> t
+(** An executor with [cores] worker domains (not yet running) serving
+    connection ids [0, conns). Connections are homed round-robin. *)
+
+val start : t -> unit
+(** Spawn the worker domains. Raises [Invalid_argument] if already
+    started. *)
+
+val submit : t -> conn:int -> (unit -> unit) -> unit
+(** Enqueue a task for a connection, from any domain. Raises
+    [Invalid_argument] after {!stop} or for an out-of-range conn. *)
+
+val drain : t -> unit
+(** Block until every submitted task has executed. *)
+
+val stop : t -> unit
+(** Drain, then terminate and join the workers. Idempotent. *)
+
+type stats = {
+  submitted : int;
+  executed : int;
+  local_batches : int;
+  stolen_batches : int;
+  steal_fraction : float;  (** stolen events / executed events *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,10 @@
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let busy_wait_us us =
+  if us > 0. then begin
+    let deadline = now_us () +. us in
+    while now_us () < deadline do
+      (* Keep the loop body non-empty so it cannot be optimized away. *)
+      ignore (Sys.opaque_identity 0 : int)
+    done
+  end

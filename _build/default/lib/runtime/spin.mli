@@ -1,0 +1,13 @@
+(** Synthetic µs-scale tasks: busy-spin for a requested duration.
+
+    This is exactly what the paper's microbenchmark application does
+    ("for each request, the application spins for an amount of time
+    randomly selected to match both service time and distribution", §3.1);
+    used by the live-runtime example and tests. *)
+
+val busy_wait_us : float -> unit
+(** Spin (no syscalls, no allocation) for approximately the given number
+    of microseconds of wall-clock time. *)
+
+val now_us : unit -> float
+(** Monotonic-enough wall clock in µs (gettimeofday-based). *)

@@ -1,0 +1,1 @@
+lib/silo/btree.ml: Array Fun List Mutex Printf String

@@ -1,0 +1,1 @@
+lib/silo/db.ml: Btree Epoch Hashtbl Record Tid

@@ -1,0 +1,1 @@
+lib/silo/db.mli: Btree Epoch Record Tid

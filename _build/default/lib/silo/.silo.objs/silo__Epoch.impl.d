@@ -1,0 +1,1 @@
+lib/silo/epoch.ml: Atomic

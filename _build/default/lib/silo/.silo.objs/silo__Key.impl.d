@@ -1,0 +1,1 @@
+lib/silo/key.ml: Bytes Char List String

@@ -1,0 +1,1 @@
+lib/silo/record.ml: Array Atomic Domain Tid

@@ -1,0 +1,1 @@
+lib/silo/tid.ml: Format

@@ -1,0 +1,1 @@
+lib/silo/tid.mli: Format

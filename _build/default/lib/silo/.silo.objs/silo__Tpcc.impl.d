@@ -1,0 +1,1 @@
+lib/silo/tpcc.ml: Array Atomic Btree Char Db Engine Hashtbl Key List Printf Record String Tid Txn

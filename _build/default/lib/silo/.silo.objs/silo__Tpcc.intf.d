@@ -1,0 +1,1 @@
+lib/silo/tpcc.mli: Db Engine

@@ -1,0 +1,1 @@
+lib/silo/txn.ml: Btree Db Epoch List Record String Tid

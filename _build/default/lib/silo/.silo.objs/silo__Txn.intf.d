@@ -1,0 +1,1 @@
+lib/silo/txn.mli: Db Tid

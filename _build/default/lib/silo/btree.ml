@@ -1,0 +1,232 @@
+(* Maximum keys per node before it splits. *)
+let fanout = 32
+
+type 'a leaf = {
+  mutable lkeys : string array;
+  mutable lvals : 'a array;
+  mutable lversion : int;
+}
+
+type 'a node = Leaf of 'a leaf | Inner of 'a inner
+
+and 'a inner = {
+  mutable ikeys : string array;  (* n separators *)
+  mutable children : 'a node array;  (* n+1 children *)
+}
+
+type 'a t = { mutable root : 'a node; lock : Mutex.t; mutable count : int }
+
+let create () =
+  { root = Leaf { lkeys = [||]; lvals = [||]; lversion = 0 }; lock = Mutex.create (); count = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = t.count
+
+let leaf_version l = l.lversion
+
+(* Index of the first key >= [key], i.e. the insertion point. *)
+let lower_bound keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to descend into for [key]: the child after the last
+   separator <= key. Separator s means: child i holds keys < s, child i+1
+   holds keys >= s. *)
+let child_index inner key =
+  let lo = ref 0 and hi = ref (Array.length inner.ikeys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare inner.ikeys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+let rec find_leaf node key =
+  match node with
+  | Leaf l -> l
+  | Inner inner -> find_leaf inner.children.(child_index inner key) key
+
+let get t key =
+  with_lock t (fun () ->
+      let l = find_leaf t.root key in
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then (Some l.lvals.(i), l)
+      else (None, l))
+
+(* Split a full leaf into two, bumping the left's version (its keys
+   moved); returns the separator and new right node. *)
+let split_leaf l =
+  let n = Array.length l.lkeys in
+  let mid = n / 2 in
+  let right =
+    {
+      lkeys = Array.sub l.lkeys mid (n - mid);
+      lvals = Array.sub l.lvals mid (n - mid);
+      lversion = 0;
+    }
+  in
+  let sep = right.lkeys.(0) in
+  l.lkeys <- Array.sub l.lkeys 0 mid;
+  l.lvals <- Array.sub l.lvals 0 mid;
+  l.lversion <- l.lversion + 1;
+  (sep, Leaf right)
+
+let split_inner inner =
+  let n = Array.length inner.ikeys in
+  let mid = n / 2 in
+  let sep = inner.ikeys.(mid) in
+  let right =
+    {
+      ikeys = Array.sub inner.ikeys (mid + 1) (n - mid - 1);
+      children = Array.sub inner.children (mid + 1) (n - mid);
+    }
+  in
+  inner.ikeys <- Array.sub inner.ikeys 0 mid;
+  inner.children <- Array.sub inner.children 0 (mid + 1);
+  (sep, Inner right)
+
+(* Returns [Some (sep, right)] when the node split. *)
+let rec insert_into node key value =
+  match node with
+  | Leaf l -> (
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then `Duplicate l.lvals.(i)
+      else begin
+        l.lkeys <- array_insert l.lkeys i key;
+        l.lvals <- array_insert l.lvals i value;
+        l.lversion <- l.lversion + 1;
+        if Array.length l.lkeys > fanout then `Split (split_leaf l) else `Ok
+      end)
+  | Inner inner -> (
+      let ci = child_index inner key in
+      match insert_into inner.children.(ci) key value with
+      | (`Ok | `Duplicate _) as r -> r
+      | `Split (sep, right) ->
+          inner.ikeys <- array_insert inner.ikeys ci sep;
+          inner.children <- array_insert inner.children (ci + 1) right;
+          if Array.length inner.ikeys > fanout then `Split (split_inner inner) else `Ok)
+
+let insert_unlocked t key value =
+  match insert_into t.root key value with
+  | `Duplicate v -> `Duplicate v
+  | `Ok ->
+      t.count <- t.count + 1;
+      `Inserted
+  | `Split (sep, right) ->
+      t.root <- Inner { ikeys = [| sep |]; children = [| t.root; right |] };
+      t.count <- t.count + 1;
+      `Inserted
+
+let insert t key value = with_lock t (fun () -> insert_unlocked t key value)
+
+let remove_unlocked t key =
+  let l = find_leaf t.root key in
+  let i = lower_bound l.lkeys key in
+  if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then begin
+    let v = l.lvals.(i) in
+    l.lkeys <- array_remove l.lkeys i;
+    l.lvals <- array_remove l.lvals i;
+    l.lversion <- l.lversion + 1;
+    t.count <- t.count - 1;
+    (* No merging: under-full leaves are tolerated (deletes are rare in
+       TPC-C relative to inserts, and validation only needs versions). *)
+    Some v
+  end
+  else None
+
+let remove t key = with_lock t (fun () -> remove_unlocked t key)
+
+let lock_tree t = Mutex.lock t.lock
+
+let unlock_tree t = Mutex.unlock t.lock
+
+let rec scan node ~lo ~hi ~on_leaf ~emit =
+  match node with
+  | Leaf l ->
+      on_leaf l;
+      let i0 = lower_bound l.lkeys lo in
+      let n = Array.length l.lkeys in
+      let rec loop i =
+        if i < n && String.compare l.lkeys.(i) hi < 0 then begin
+          emit l.lkeys.(i) l.lvals.(i);
+          loop (i + 1)
+        end
+      in
+      loop i0
+  | Inner inner ->
+      (* Children overlapping [lo, hi): from the child covering lo to the
+         child covering the last key < hi. *)
+      let first = child_index inner lo in
+      let n = Array.length inner.children in
+      let rec loop ci =
+        if ci < n && (ci = first || String.compare inner.ikeys.(ci - 1) hi < 0) then begin
+          scan inner.children.(ci) ~lo ~hi ~on_leaf ~emit;
+          loop (ci + 1)
+        end
+      in
+      loop first
+
+let iter_range t ~lo ~hi f =
+  with_lock t (fun () -> scan t.root ~lo ~hi ~on_leaf:(fun _ -> ()) ~emit:f)
+
+let scan_range t ~lo ~hi ?(on_leaf = fun _ -> ()) () =
+  with_lock t (fun () ->
+      let acc = ref [] in
+      scan t.root ~lo ~hi ~on_leaf ~emit:(fun k v -> acc := (k, v) :: !acc);
+      List.rev !acc)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec check node ~lo ~hi ~depth =
+    match node with
+    | Leaf l ->
+        let n = Array.length l.lkeys in
+        if Array.length l.lvals <> n then fail "leaf keys/vals arity mismatch";
+        for i = 0 to n - 1 do
+          let k = l.lkeys.(i) in
+          if i > 0 && String.compare l.lkeys.(i - 1) k >= 0 then fail "leaf keys not sorted";
+          (match lo with Some b when String.compare k b < 0 -> fail "leaf key below bound" | _ -> ());
+          (match hi with Some b when String.compare k b >= 0 -> fail "leaf key above bound" | _ -> ())
+        done;
+        (n, depth)
+    | Inner inner ->
+        let nk = Array.length inner.ikeys in
+        if Array.length inner.children <> nk + 1 then fail "inner arity mismatch";
+        if nk = 0 then fail "inner node with no separator";
+        for i = 1 to nk - 1 do
+          if String.compare inner.ikeys.(i - 1) inner.ikeys.(i) >= 0 then
+            fail "separators not sorted"
+        done;
+        let total = ref 0 and leaf_depth = ref (-1) in
+        for ci = 0 to nk do
+          let clo = if ci = 0 then lo else Some inner.ikeys.(ci - 1) in
+          let chi = if ci = nk then hi else Some inner.ikeys.(ci) in
+          let n, d = check inner.children.(ci) ~lo:clo ~hi:chi ~depth:(depth + 1) in
+          total := !total + n;
+          if !leaf_depth = -1 then leaf_depth := d
+          else if !leaf_depth <> d then fail "unbalanced leaf depth"
+        done;
+        (!total, !leaf_depth)
+  in
+  with_lock t (fun () ->
+      let total, _ = check t.root ~lo:None ~hi:None ~depth:0 in
+      if total <> t.count then fail "count mismatch: %d vs %d" total t.count)

@@ -1,0 +1,67 @@
+(** Ordered in-memory index: a B+-tree with per-leaf version counters.
+
+    This is the reproduction's stand-in for Masstree, Silo's index
+    structure. What matters for the OCC protocol is preserved exactly:
+
+    - every leaf carries a version counter, bumped by any insert or delete
+      touching that leaf (including splits that move its keys);
+    - lookups and scans report the leaves they touched, so a transaction
+      can record (leaf, version) pairs in its node-set and revalidate them
+      at commit — Silo's defense against phantoms (Tu et al. §4.5).
+
+    Concurrency is coarser than Masstree's lock-free readers: one mutex per
+    tree guards every operation. The simplification is documented in
+    DESIGN.md; it does not change the validation semantics, only the
+    scalability of the index itself. *)
+
+type 'a t
+
+type 'a leaf
+(** A leaf node handle, valid for version checks for the tree's
+    lifetime. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live keys. *)
+
+val leaf_version : 'a leaf -> int
+
+val get : 'a t -> string -> 'a option * 'a leaf
+(** Value bound to the key (if any) and the leaf that holds — or would
+    hold — the key; record its version to validate absent reads. *)
+
+val insert : 'a t -> string -> 'a -> [ `Inserted | `Duplicate of 'a ]
+(** Insert a new binding; refuses to overwrite (value updates go through
+    {!Record} versioning, not the index). Bumps affected leaf versions. *)
+
+val remove : 'a t -> string -> 'a option
+(** Remove and return the binding, bumping the leaf version. *)
+
+val iter_range : 'a t -> lo:string -> hi:string -> (string -> 'a -> unit) -> unit
+(** Visit bindings with lo <= key < hi in ascending key order. *)
+
+val scan_range :
+  'a t -> lo:string -> hi:string -> ?on_leaf:('a leaf -> unit) -> unit -> (string * 'a) list
+(** Like {!iter_range} but collects the bindings and reports every leaf
+    overlapping the range through [on_leaf] (for node-set validation),
+    including leaves that contributed no matching key. *)
+
+val check_invariants : 'a t -> unit
+(** Verify ordering, key/child arity and separator invariants; raises
+    [Failure] on violation. For tests. *)
+
+(** {2 Commit-protocol interface}
+
+    The OCC commit protocol must hold the tree lock across node-set
+    validation and its own structural changes, so that no concurrent
+    insert can slip between the two (see {!Txn}). These entry points
+    expose the lock; the [_unlocked] variants require it held. *)
+
+val lock_tree : 'a t -> unit
+
+val unlock_tree : 'a t -> unit
+
+val insert_unlocked : 'a t -> string -> 'a -> [ `Inserted | `Duplicate of 'a ]
+
+val remove_unlocked : 'a t -> string -> 'a option

@@ -1,0 +1,13 @@
+type t = { epoch : int Atomic.t; commits : int Atomic.t; advance_every : int }
+
+let create ?(advance_every = 4096) () =
+  if advance_every < 1 then invalid_arg "Epoch.create: advance_every < 1";
+  { epoch = Atomic.make 1; commits = Atomic.make 0; advance_every }
+
+let current t = Atomic.get t.epoch
+
+let advance t = 1 + Atomic.fetch_and_add t.epoch 1
+
+let on_commit t =
+  let n = 1 + Atomic.fetch_and_add t.commits 1 in
+  if n mod t.advance_every = 0 then ignore (advance t : int)

@@ -1,0 +1,22 @@
+(** Global epoch management (Silo §4.1).
+
+    The epoch number is the coarse-grained component of every committed
+    TID; it advances periodically (Silo: every 40ms, here on demand or
+    every [advance_every] commits) and is what gives Silo serializability
+    with no shared-counter bottleneck — workers only read it. The
+    epoch-based garbage collection tied to it is the part the paper
+    disables for the §6.3 measurements; we likewise do not implement GC. *)
+
+type t
+
+val create : ?advance_every:int -> unit -> t
+(** [advance_every] commits between automatic advances (default 4096; the
+    stand-in for Silo's 40ms timer). *)
+
+val current : t -> int
+
+val advance : t -> int
+(** Manually advance; returns the new epoch. *)
+
+val on_commit : t -> unit
+(** Notify one commit; advances the epoch each [advance_every] calls. *)

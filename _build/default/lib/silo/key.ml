@@ -1,0 +1,23 @@
+let of_int n =
+  if n < 0 then invalid_arg "Key.of_int: negative";
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+let of_ints ids = String.concat "" (List.map of_int ids)
+
+let of_ints_str ids suffix = of_ints ids ^ suffix
+
+let to_ints s =
+  let len = String.length s in
+  if len mod 8 <> 0 then invalid_arg "Key.to_ints: length not a multiple of 8";
+  List.init (len / 8) (fun w ->
+      let acc = ref 0 in
+      for i = 0 to 7 do
+        acc := (!acc lsl 8) lor Char.code s.[(w * 8) + i]
+      done;
+      !acc)
+
+let succ s = s ^ "\x00"

@@ -1,0 +1,25 @@
+(** Order-preserving key encoding.
+
+    Composite TPC-C keys (warehouse, district, customer, order ids) are
+    encoded as fixed-width big-endian byte strings so that lexicographic
+    string comparison in the B+-tree matches numeric tuple order —
+    the same trick Silo/Masstree use. *)
+
+val of_int : int -> string
+(** 8-byte big-endian encoding of a non-negative int. Raises
+    [Invalid_argument] on negatives. *)
+
+val of_ints : int list -> string
+(** Concatenation of {!of_int} encodings: tuple ordering. *)
+
+val of_ints_str : int list -> string -> string
+(** [of_ints_str ids suffix] — composite of integer fields followed by a
+    raw string component (e.g. a customer last name). *)
+
+val to_ints : string -> int list
+(** Inverse of {!of_ints} when the key is only integer components (length
+    a multiple of 8). Raises [Invalid_argument] otherwise. *)
+
+val succ : string -> string
+(** Smallest key strictly greater than the argument (appends a NUL byte) —
+    handy for half-open range scans. *)

@@ -1,0 +1,1 @@
+lib/stats/tally.ml: Array Float

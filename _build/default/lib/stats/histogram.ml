@@ -1,0 +1,94 @@
+type t = {
+  digits : int;
+  log_ratio : float;  (* ln of the geometric bucket ratio *)
+  floor_value : float;  (* values below this land in bucket 0 *)
+  mutable buckets : int array;
+  mutable total : int;
+  mutable sum : float;  (* exact running sum, for an exact mean *)
+  mutable max_seen : float;
+}
+
+let create ?(significant_digits = 3) () =
+  if significant_digits < 1 || significant_digits > 4 then
+    invalid_arg "Histogram.create: significant_digits must be in 1..4";
+  let ratio = 1. +. (10. ** float_of_int (-significant_digits)) in
+  {
+    digits = significant_digits;
+    log_ratio = log ratio;
+    floor_value = 1e-3;  (* 1 ns when values are in µs *)
+    buckets = Array.make 1024 0;
+    total = 0;
+    sum = 0.;
+    max_seen = 0.;
+  }
+
+let bucket_of_value t v =
+  if v <= t.floor_value then 0
+  else 1 + int_of_float (log (v /. t.floor_value) /. t.log_ratio)
+
+let value_of_bucket t i =
+  if i = 0 then t.floor_value
+  else
+    (* Midpoint (geometric) of the bucket's range. *)
+    t.floor_value *. exp ((float_of_int i -. 0.5) *. t.log_ratio)
+
+let record t v =
+  if v < 0. then invalid_arg "Histogram.record: negative value";
+  let i = bucket_of_value t v in
+  if i >= Array.length t.buckets then begin
+    let cap = max (i + 1) (2 * Array.length t.buckets) in
+    let bigger = Array.make cap 0 in
+    Array.blit t.buckets 0 bigger 0 (Array.length t.buckets);
+    t.buckets <- bigger
+  end;
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.total
+
+let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+
+let max_value t = t.max_seen
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of [0,100]";
+  let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.total))) in
+  if rank >= t.total then t.max_seen
+  else begin
+  let remaining = ref rank in
+  let result = ref t.max_seen in
+  (try
+     for i = 0 to Array.length t.buckets - 1 do
+       remaining := !remaining - t.buckets.(i);
+       if !remaining <= 0 then begin
+         result := value_of_bucket t i;
+         raise Exit
+       end
+     done
+     with Exit -> ());
+    Float.min !result t.max_seen
+  end
+
+let merge_into ~dst src =
+  if dst.digits <> src.digits then invalid_arg "Histogram.merge_into: precision mismatch";
+  (* Re-recording bucket midpoints can overshoot the true maximum (a
+     midpoint lies above the values in the lower half of its bucket), so
+     restore the exact extreme afterwards. *)
+  let true_max = Float.max dst.max_seen src.max_seen in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        for _ = 1 to n do
+          record dst (value_of_bucket src i)
+        done)
+    src.buckets;
+  dst.max_seen <- true_max
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.max_seen <- 0.

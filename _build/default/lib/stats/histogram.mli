@@ -1,0 +1,35 @@
+(** Log-bucketed latency histogram (HdrHistogram-style).
+
+    Constant-memory alternative to {!Tally} for very long runs: values are
+    bucketed with a bounded relative error (sub-bucket resolution within
+    each power-of-two range), so percentile queries are approximate but
+    never off by more than the configured precision. Used where a
+    simulation records tens of millions of samples. *)
+
+type t
+
+val create : ?significant_digits:int -> unit -> t
+(** [significant_digits] (1–4, default 3) bounds the relative quantization
+    error to 10^-digits. *)
+
+val record : t -> float -> unit
+(** Record a non-negative value. Negative values raise
+    [Invalid_argument]. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of recorded values, subject to bucket quantization. *)
+
+val max_value : t -> float
+(** Largest recorded value (exact). *)
+
+val percentile : t -> float -> float
+(** Approximate nearest-rank percentile. Raises on empty histogram or [p]
+    outside [0, 100]. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add all of the source's counts into [dst]. The two histograms must have
+    the same precision (raises [Invalid_argument] otherwise). *)
+
+val clear : t -> unit

@@ -1,0 +1,88 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool;  (* whether data.[0,size) is known ascending *)
+}
+
+let create () = { data = [||]; size = 0; sorted = true }
+
+let record t x =
+  if t.size = Array.length t.data then begin
+    let cap = max 256 (2 * Array.length t.data) in
+    let bigger = Array.make cap 0. in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+
+let is_empty t = t.size = 0
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let mean t = if t.size = 0 then 0. else fold ( +. ) 0. t /. float_of_int t.size
+
+let max_value t = if t.size = 0 then 0. else fold Float.max neg_infinity t
+
+let min_value t = if t.size = 0 then 0. else fold Float.min infinity t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.size in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then invalid_arg "Tally.percentile: empty tally";
+  if p < 0. || p > 100. then invalid_arg "Tally.percentile: p out of [0,100]";
+  ensure_sorted t;
+  (* Nearest-rank: smallest value whose cumulative frequency >= p%. *)
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int t.size)) in
+  let idx = max 0 (min (t.size - 1) (rank - 1)) in
+  t.data.(idx)
+
+let p50 t = percentile t 50.
+
+let p90 t = percentile t 90.
+
+let p99 t = percentile t 99.
+
+let p999 t = percentile t 99.9
+
+let stddev t =
+  if t.size < 2 then 0.
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t in
+    sqrt (ss /. float_of_int (t.size - 1))
+  end
+
+let samples t = Array.sub t.data 0 t.size
+
+let sorted_samples t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.size
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    record t a.data.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    record t b.data.(i)
+  done;
+  t
+
+let clear t =
+  t.size <- 0;
+  t.sorted <- true

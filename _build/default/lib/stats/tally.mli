@@ -1,0 +1,55 @@
+(** Exact sample tally with percentile queries.
+
+    Stores every recorded value (growable float array) and answers
+    percentile/mean/max queries by sorting on demand. This is the
+    "client-side measurement agent" of the reproduction: latency samples
+    from the simulated load generator land here, and all reported
+    percentiles (p50/p99/...) are exact over the recorded samples, like the
+    paper's mutilate-based measurements. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Add one sample. Amortized O(1). *)
+
+val count : t -> int
+
+val is_empty : t -> bool
+
+val mean : t -> float
+(** Arithmetic mean; 0 when empty. *)
+
+val max_value : t -> float
+(** Largest sample; 0 when empty. *)
+
+val min_value : t -> float
+(** Smallest sample; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: nearest-rank percentile of the
+    recorded samples. Raises [Invalid_argument] when empty or [p] out of
+    range. *)
+
+val p50 : t -> float
+
+val p90 : t -> float
+
+val p99 : t -> float
+
+val p999 : t -> float
+
+val stddev : t -> float
+
+val samples : t -> float array
+(** Copy of all recorded samples (order unspecified: percentile queries may
+    reorder the internal store). *)
+
+val sorted_samples : t -> float array
+(** Copy of all recorded samples, ascending. *)
+
+val merge : t -> t -> t
+(** New tally holding both sample sets. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/systems/iface.ml: List Net

@@ -1,0 +1,1 @@
+lib/systems/iface.mli: Net

@@ -1,0 +1,1 @@
+lib/systems/ix.ml: Array Engine Iface List Net Params Printf

@@ -1,0 +1,1 @@
+lib/systems/ix.mli: Engine Iface Net Params

@@ -1,0 +1,1 @@
+lib/systems/linux.ml: Array Engine Iface Net Params Queue

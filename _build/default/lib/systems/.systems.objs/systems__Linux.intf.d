@@ -1,0 +1,1 @@
+lib/systems/linux.mli: Engine Iface Net Params

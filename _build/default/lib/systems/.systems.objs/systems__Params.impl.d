@@ -1,0 +1,1 @@
+lib/systems/params.ml:

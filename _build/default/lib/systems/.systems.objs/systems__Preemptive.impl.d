@@ -1,0 +1,1 @@
+lib/systems/preemptive.ml: Array Engine Float Iface Net Option Params Printf Queue

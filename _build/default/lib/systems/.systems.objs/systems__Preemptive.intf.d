@@ -1,0 +1,1 @@
+lib/systems/preemptive.mli: Engine Iface Net Params

@@ -1,0 +1,1 @@
+lib/systems/rebalance.ml: Array Engine Net

@@ -1,0 +1,1 @@
+lib/systems/rebalance.mli: Engine Net

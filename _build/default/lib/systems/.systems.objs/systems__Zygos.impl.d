@@ -1,0 +1,1 @@
+lib/systems/zygos.ml: Array Core Engine Format Iface List Net Params

@@ -1,0 +1,1 @@
+lib/systems/zygos.mli: Engine Format Iface Net Params

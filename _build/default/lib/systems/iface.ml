@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  submit : Net.Request.t -> unit;
+  info : unit -> (string * float) list;
+}
+
+let info_value t key = List.assoc_opt key (t.info ())

@@ -1,0 +1,32 @@
+(** Simulated IX dataplane (Belay et al., OSDI'14 / TOCS'17), the paper's
+    shared-nothing baseline.
+
+    Each core owns the connections RSS maps to its hardware queue and runs
+    a strict run-to-completion loop with adaptive bounded batching
+    (§3.3/§6.2): take up to B packets from the hardware ring, carry the
+    whole batch through the network stack, then execute each request to
+    completion (application service + eager transmit), then loop. There is
+    no stealing and no preemption, so a long request blocks everything
+    behind it on the same core — the head-of-line blocking ZygOS
+    eliminates. B=1 disables batching (best tail latency), B=64 is the
+    default (best throughput for tiny tasks, Figure 9/11). *)
+
+val create :
+  Engine.Sim.t ->
+  Params.t ->
+  conns:int ->
+  respond:(Net.Request.t -> unit) ->
+  Iface.t
+
+val create_with_rss :
+  Engine.Sim.t ->
+  Params.t ->
+  rss:Net.Rss.t ->
+  conns:int ->
+  respond:(Net.Request.t -> unit) ->
+  Iface.t * (unit -> int array)
+(** Like {!create}, but the connection→core mapping goes through the given
+    RSS engine's {e live} indirection table on every packet, so a control
+    plane ({!Rebalance}) can re-program it mid-run. The second result
+    reads and resets the per-slot arrival counters the controller uses to
+    find hot slots. *)

@@ -1,0 +1,137 @@
+module Sim = Engine.Sim
+module Request = Net.Request
+
+(* Per-request thread-side cost: read+write syscalls plus the kernel
+   TCP/IP stack each way for every packet of the request/response. *)
+let thread_overhead (p : Params.t) =
+  (2. *. p.linux_syscall) +. (float_of_int p.rpc_packets *. 2. *. p.linux_netstack)
+
+(* ---- Partitioned: static connection->core assignment via RSS ---- *)
+
+type pcore = { queue : Request.t Queue.t; mutable busy : bool }
+
+let partitioned sim (p : Params.t) ~conns ~respond =
+  let rss = Net.Rss.create ~queues:p.cores () in
+  let home = Array.init conns (fun c -> Net.Rss.queue_of_conn rss c) in
+  let cores = Array.init p.cores (fun _ -> { queue = Queue.create (); busy = false }) in
+  let per_request_overhead = p.linux_epoll +. thread_overhead p in
+  let rec run_next c =
+    match Queue.take_opt c.queue with
+    | None -> c.busy <- false
+    | Some req ->
+        req.Request.started <- Sim.now sim;
+        let cost = per_request_overhead +. req.Request.service in
+        let _ : Sim.handle =
+          Sim.schedule_after sim ~delay:cost (fun () ->
+              respond req;
+              run_next c)
+        in
+        ()
+  in
+  let submit req =
+    let c = cores.(home.(req.Request.conn)) in
+    Queue.add req c.queue;
+    if not c.busy then begin
+      c.busy <- true;
+      (* The thread is blocked in epoll_wait; it resumes after the wakeup
+         latency and then drains its queue. *)
+      let _ : Sim.handle = Sim.schedule_after sim ~delay:p.linux_wakeup (fun () -> run_next c) in
+      ()
+    end
+  in
+  let info () =
+    [ ("backlog", float_of_int (Array.fold_left (fun acc c -> acc + Queue.length c.queue) 0 cores)) ]
+  in
+  { Iface.name = "linux-partitioned"; submit; info }
+
+(* ---- Floating: one shared pool, any thread serves any connection ----
+
+   Matches the paper's implementation: EPOLLEXCLUSIVE-style single-thread
+   wakeups plus "a simple locking protocol to serialize access to the same
+   socket". Two serialization effects are modelled:
+
+   - per-connection exclusivity: a connection with a request in flight
+     parks later requests until it completes; the released request
+     re-enters the pool;
+   - the shared pool itself: handing an event from the shared epoll set to
+     a thread holds the pool lock, a single serial section all threads
+     contend on (this is what caps floating's throughput for tiny tasks,
+     cf. Figure 9's Linux curve). *)
+
+type fstate = {
+  dispatch_queue : Request.t Queue.t;  (* waiting for the pool hand-off *)
+  mutable dispatcher_busy : bool;
+  ready : Request.t Queue.t;  (* dispatched, waiting for a free thread *)
+  conn_busy : bool array;
+  conn_pending : Request.t Queue.t array;
+  mutable idle_threads : int;
+}
+
+let floating sim (p : Params.t) ~conns ~respond =
+  let st =
+    {
+      dispatch_queue = Queue.create ();
+      dispatcher_busy = false;
+      ready = Queue.create ();
+      conn_busy = Array.make conns false;
+      conn_pending = Array.init conns (fun _ -> Queue.create ());
+      idle_threads = p.cores;
+    }
+  in
+  (* Only the pool-lock hand-off serializes; each woken thread performs
+     its own epoll_wait in parallel (EPOLLEXCLUSIVE). *)
+  let dispatch_cost = p.linux_lock in
+  let rec start ~woken req =
+    req.Request.started <- Sim.now sim;
+    let cost =
+      (if woken then p.linux_wakeup else 0.)
+      +. p.linux_epoll +. thread_overhead p +. req.Request.service
+    in
+    let _ : Sim.handle = Sim.schedule_after sim ~delay:cost (fun () -> finish req) in
+    ()
+  and finish req =
+    respond req;
+    (* Socket serialization: release it, or send its next queued request
+       back through the shared pool. *)
+    (match Queue.take_opt st.conn_pending.(req.Request.conn) with
+    | Some next -> enqueue_dispatch next
+    | None -> st.conn_busy.(req.Request.conn) <- false);
+    (* This thread immediately picks up the next dispatched event. *)
+    match Queue.take_opt st.ready with
+    | Some next -> start ~woken:false next
+    | None -> st.idle_threads <- st.idle_threads + 1
+  and enqueue_dispatch req =
+    Queue.add req st.dispatch_queue;
+    pump_dispatcher ()
+  and pump_dispatcher () =
+    if not st.dispatcher_busy then
+      match Queue.take_opt st.dispatch_queue with
+      | None -> ()
+      | Some req ->
+          st.dispatcher_busy <- true;
+          let _ : Sim.handle =
+            Sim.schedule_after sim ~delay:dispatch_cost (fun () ->
+                st.dispatcher_busy <- false;
+                (if st.idle_threads > 0 then begin
+                   st.idle_threads <- st.idle_threads - 1;
+                   start ~woken:true req
+                 end
+                 else Queue.add req st.ready);
+                pump_dispatcher ())
+          in
+          ()
+  in
+  let submit req =
+    let conn = req.Request.conn in
+    if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
+    else begin
+      st.conn_busy.(conn) <- true;
+      enqueue_dispatch req
+    end
+  in
+  let info () =
+    [
+      ("backlog", float_of_int (Queue.length st.ready + Queue.length st.dispatch_queue));
+    ]
+  in
+  { Iface.name = "linux-floating"; submit; info }

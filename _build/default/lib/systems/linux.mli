@@ -1,0 +1,31 @@
+(** Simulated Linux event-driven servers (§3.3).
+
+    Two configurations of a 16-thread epoll server, one thread pinned per
+    core:
+
+    - {b partitioned}: each thread owns the connections RSS directs to its
+      core and polls only those — no rebalancing, so the system behaves
+      like n×M/G/1/FCFS plus Linux overheads;
+    - {b floating}: all connections live in one shared pool
+      (EPOLLEXCLUSIVE-style, one thread woken per event) with a locking
+      protocol serializing same-socket access — behaves like M/G/n/FCFS
+      plus Linux overheads and lock costs.
+
+    Per-request cost structure: epoll_wait (one event per call, the
+    configuration §3.3 settled on) + read + write syscalls + kernel network
+    stack both ways (+ pool lock twice for floating), around the
+    application service time. *)
+
+val partitioned :
+  Engine.Sim.t ->
+  Params.t ->
+  conns:int ->
+  respond:(Net.Request.t -> unit) ->
+  Iface.t
+
+val floating :
+  Engine.Sim.t ->
+  Params.t ->
+  conns:int ->
+  respond:(Net.Request.t -> unit) ->
+  Iface.t

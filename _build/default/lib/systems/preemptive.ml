@@ -1,0 +1,185 @@
+module Sim = Engine.Sim
+module Request = Net.Request
+
+type consolidation = {
+  window : float;
+  low_util : float;
+  high_util : float;
+  unpark_latency : float;
+}
+
+let default_consolidation =
+  { window = 200.; low_util = 0.5; high_util = 0.85; unpark_latency = 10. }
+
+type job = { req : Request.t; mutable remaining : float; mutable dispatched : bool }
+
+type state = {
+  runq : job Queue.t;  (* centralized, preemptible run queue *)
+  mutable idle_cores : int;
+  mutable parked : int;  (* consolidation: cores taken out of service *)
+  mutable active_target : int;
+  conn_busy : bool array;
+  conn_pending : Request.t Queue.t array;
+  mutable preemptions : int;
+  mutable completed : int;
+  mutable busy_accum : float;  (* total core-busy µs, for utilization *)
+  mutable core_time : float;  (* integral of active cores over time *)
+  mutable windows : int;
+}
+
+let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate () =
+  if quantum <= 0. then invalid_arg "Preemptive.create: quantum <= 0";
+  if switch_cost < 0. then invalid_arg "Preemptive.create: switch_cost < 0";
+  let st =
+    {
+      runq = Queue.create ();
+      idle_cores = p.cores;
+      parked = 0;
+      active_target = p.cores;
+      conn_busy = Array.make conns false;
+      conn_pending = Array.init conns (fun _ -> Queue.create ());
+      preemptions = 0;
+      completed = 0;
+      busy_accum = 0.;
+      core_time = 0.;
+      windows = 0;
+    }
+  in
+  let pkts = float_of_int p.rpc_packets in
+  let active () = p.cores - st.parked in
+  let rec run_slice ~resume_cost job =
+    let slice = Float.min quantum job.remaining in
+    let setup =
+      if job.dispatched then resume_cost
+      else begin
+        (* First dispatch pays the receive path. *)
+        job.dispatched <- true;
+        p.dp_loop +. (pkts *. p.dp_rx)
+      end
+    in
+    if job.req.Request.started < 0. then
+      job.req.Request.started <- Sim.now sim +. setup;
+    st.busy_accum <- st.busy_accum +. setup +. slice;
+    let _ : Sim.handle =
+      Sim.schedule_after sim ~delay:(setup +. slice) (fun () ->
+          job.remaining <- job.remaining -. slice;
+          if job.remaining <= 1e-9 then finish job else preempt job)
+    in
+    ()
+  and finish job =
+    st.busy_accum <- st.busy_accum +. (pkts *. p.dp_tx);
+    let _ : Sim.handle =
+      Sim.schedule_after sim
+        ~delay:(pkts *. p.dp_tx)
+        (fun () ->
+          st.completed <- st.completed + 1;
+          respond job.req;
+          (* Per-connection serialization (§4.3): promote the next queued
+             request of this connection, if any. *)
+          let conn = job.req.Request.conn in
+          (match Queue.take_opt st.conn_pending.(conn) with
+          | Some next ->
+              Queue.add { req = next; remaining = next.Request.service; dispatched = false }
+                st.runq
+          | None -> st.conn_busy.(conn) <- false);
+          next_work ())
+    in
+    ()
+  and preempt job =
+    if Queue.is_empty st.runq then
+      (* Nothing else to run: keep going, no context switch to pay. *)
+      run_slice ~resume_cost:0. job
+    else begin
+      st.preemptions <- st.preemptions + 1;
+      Queue.add job st.runq;
+      match Queue.take_opt st.runq with
+      | Some next -> run_slice ~resume_cost:switch_cost next
+      | None -> assert false
+    end
+  and next_work () =
+    match Queue.take_opt st.runq with
+    | Some job -> run_slice ~resume_cost:switch_cost job
+    | None ->
+        (* Consolidation: surplus cores park instead of idling. *)
+        if active () > st.active_target then st.parked <- st.parked + 1
+        else st.idle_cores <- st.idle_cores + 1
+  in
+  let submit req =
+    let conn = req.Request.conn in
+    if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
+    else begin
+      st.conn_busy.(conn) <- true;
+      let job = { req; remaining = req.Request.service; dispatched = false } in
+      if st.idle_cores > 0 then begin
+        st.idle_cores <- st.idle_cores - 1;
+        (* An idle core notices the packet within one poll iteration. *)
+        let _ : Sim.handle =
+          Sim.schedule_after sim ~delay:p.dp_loop (fun () -> run_slice ~resume_cost:0. job)
+        in
+        ()
+      end
+      else Queue.add job st.runq
+    end
+  in
+  (* ---- consolidation controller ---- *)
+  (match consolidate with
+  | None -> ()
+  | Some { window; low_util; high_util; unpark_latency } ->
+      if window <= 0. then invalid_arg "Preemptive.create: consolidation window <= 0";
+      let last_busy = ref 0. in
+      let quiet = ref 0 in
+      let unpark () =
+        st.parked <- st.parked - 1;
+        let _ : Sim.handle =
+          Sim.schedule_after sim ~delay:unpark_latency (fun () ->
+              (* The woken core joins the pool and pulls work if any. *)
+              match Queue.take_opt st.runq with
+              | Some job -> run_slice ~resume_cost:switch_cost job
+              | None -> st.idle_cores <- st.idle_cores + 1)
+        in
+        ()
+      in
+      let rec tick () =
+        st.windows <- st.windows + 1;
+        let act = active () in
+        st.core_time <- st.core_time +. (float_of_int act *. window);
+        let busy = st.busy_accum -. !last_busy in
+        last_busy := st.busy_accum;
+        let util = busy /. (float_of_int (max 1 act) *. window) in
+        if busy = 0. && Queue.is_empty st.runq then incr quiet else quiet := 0;
+        if util < low_util && st.active_target > 1 then begin
+          st.active_target <- st.active_target - 1;
+          (* Park an idle core immediately if one exists. *)
+          if active () > st.active_target && st.idle_cores > 0 then begin
+            st.idle_cores <- st.idle_cores - 1;
+            st.parked <- st.parked + 1
+          end
+        end
+        else if util > high_util && st.active_target < p.cores then begin
+          st.active_target <- st.active_target + 1;
+          if st.parked > 0 then unpark ()
+        end;
+        if !quiet < 2 then ignore (Sim.schedule_after sim ~delay:window tick : Sim.handle)
+      in
+      ignore (Sim.schedule_after sim ~delay:window tick : Sim.handle));
+  let info () =
+    let base =
+      [
+        ("preemptions", float_of_int st.preemptions);
+        ( "preemptions_per_request",
+          if st.completed = 0 then 0.
+          else float_of_int st.preemptions /. float_of_int st.completed );
+      ]
+    in
+    match consolidate with
+    | None -> base
+    | Some _ ->
+        let elapsed = float_of_int st.windows *. (Option.get consolidate).window in
+        base
+        @ [
+            ( "avg_active_cores",
+              if elapsed = 0. then float_of_int p.cores else st.core_time /. elapsed );
+            ("consolidation_windows", float_of_int st.windows);
+          ]
+  in
+  { Iface.name = Printf.sprintf "preempt-q%g" quantum; submit; info }

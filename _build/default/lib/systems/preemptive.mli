@@ -1,0 +1,52 @@
+(** Preemptive centralized scheduling — the §2.3/§7 counterpoint.
+
+    Observation 2 of the paper: FCFS is tail-optimal for low-dispersion
+    service times, but processor sharing wins when dispersion is extreme
+    (bimodal-2, where 0.1% of requests are 1000x longer than the rest).
+    ZygOS is FCFS by design; the line of work it spawned (Shinjuku,
+    SOSP'19-adjacent) adds preemption to recover the PS advantage.
+
+    This model implements that extension: a centralized run queue feeding
+    all cores, where a request executes for at most a quantum before being
+    preempted (paying a context-switch cost) and re-queued at the tail —
+    processor sharing discretized at quantum granularity, with dataplane
+    per-packet costs. With [quantum = infinity] it degenerates to
+    centralized FCFS run-to-completion.
+
+    Counters exposed through {!Iface.info}: ["preemptions"],
+    ["preemptions_per_request"]. *)
+
+(** Workload-consolidation control plane (§5's other IX control-plane
+    function, "energy proportionality [and] workload consolidation ...
+    dynamically adjusting ... core allocation"): every [window] µs the
+    controller measures utilization of the active cores and parks one core
+    below [low_util], or unparks one above [high_util] (paying
+    [unpark_latency] before the woken core serves). A centralized run
+    queue makes this safe — parked cores simply stop pulling work. *)
+type consolidation = {
+  window : float;
+  low_util : float;
+  high_util : float;
+  unpark_latency : float;
+}
+
+val default_consolidation : consolidation
+(** window 200µs, park below 50%, unpark above 85%, 10µs wakeup. *)
+
+val create :
+  Engine.Sim.t ->
+  Params.t ->
+  quantum:float ->
+  switch_cost:float ->
+  conns:int ->
+  respond:(Net.Request.t -> unit) ->
+  ?consolidate:consolidation ->
+  unit ->
+  Iface.t
+(** [quantum] is the maximum uninterrupted execution slice (µs);
+    [switch_cost] is charged at every preemption (save/restore, queue
+    traffic). Raises [Invalid_argument] if [quantum <= 0] or
+    [switch_cost < 0].
+
+    With [consolidate], {!Iface.info} additionally exposes
+    ["avg_active_cores"] (time-weighted) and ["consolidation_windows"]. *)

@@ -1,0 +1,379 @@
+module Sim = Engine.Sim
+module Request = Net.Request
+module Sched = Core.Sched.Sim_sched
+module RQ = Core.Remote_queue.Make (Core.Platform.Nolock)
+
+type mode = Midle | Muser | Mkernel
+
+type trace_event =
+  | Rx of { core : int; packets : int }
+  | Dispatch_local of { core : int; conn : int; events : int }
+  | Steal of { thief : int; victim : int; conn : int; events : int }
+  | Ipi of { src : int; dst : int }
+  | Remote_tx of { home : int; conn : int; responses : int }
+
+let pp_trace_event ppf = function
+  | Rx { core; packets } -> Format.fprintf ppf "core %d: rx %d packets" core packets
+  | Dispatch_local { core; conn; events } ->
+      Format.fprintf ppf "core %d: dispatch conn %d (%d events)" core conn events
+  | Steal { thief; victim; conn; events } ->
+      Format.fprintf ppf "core %d: steal conn %d (%d events) from core %d" thief conn events
+        victim
+  | Ipi { src; dst } -> Format.fprintf ppf "core %d: IPI -> core %d" src dst
+  | Remote_tx { home; conn; responses } ->
+      Format.fprintf ppf "core %d: tx %d remote responses for conn %d" home responses conn
+
+(* A remote batched-syscall entry: the responses of a stolen batch, to be
+   transmitted by (and ownership released at) the home core. *)
+type remote_batch = { pcb : Request.t Sched.pcb; reqs : Request.t list }
+
+type zcore = {
+  id : int;
+  hw : Request.t Net.Ring.t;
+  remote : remote_batch RQ.t;
+  policy : Core.Steal_policy.t;
+  mutable mode : mode;
+  mutable cur_handle : Sim.handle option;  (* completion of current timed segment *)
+  mutable cur_finish : (unit -> unit) option;  (* its continuation, for IPI extension *)
+  mutable cur_done_at : float;
+  mutable ipi_pending : bool;  (* an IPI is in flight / unhandled for this core *)
+  mutable wake_scheduled : bool;
+  mutable ipis_received : int;
+}
+
+type t = {
+  sim : Sim.t;
+  p : Params.t;
+  sched : Request.t Sched.t;
+  pcbs : Request.t Sched.pcb array;
+  zcores : zcore array;
+  respond : Request.t -> unit;
+  trace : (float -> trace_event -> unit) option;
+  mutable ipis_sent : int;
+  mutable remote_batches : int;
+  mutable wc_violations : int;
+}
+
+(* ---- timed segments ----
+
+   A core executes one timed segment at a time (user execution of one
+   event, or a stretch of kernel work). IPIs extend the current segment:
+   the handler's work is accounted inside the interrupted execution. *)
+
+let segment_finished c finish () =
+  c.cur_handle <- None;
+  c.cur_finish <- None;
+  finish ()
+
+let start_segment t c ~mode ~cost ~finish =
+  assert (c.cur_handle = None);
+  c.mode <- mode;
+  c.cur_finish <- Some finish;
+  c.cur_done_at <- Sim.now t.sim +. cost;
+  c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
+
+let extend_segment t c ~extra =
+  match (c.cur_handle, c.cur_finish) with
+  | Some h, Some finish ->
+      Sim.cancel h;
+      c.cur_done_at <- c.cur_done_at +. extra;
+      c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
+  | _ -> assert false
+
+let emit_trace t ev =
+  match t.trace with Some f -> f (Sim.now t.sim) ev | None -> ()
+
+(* ---- idle wakeups ---- *)
+
+let rec wake t c ~delay =
+  if c.mode = Midle && not c.wake_scheduled then begin
+    c.wake_scheduled <- true;
+    let _ : Sim.handle =
+      Sim.schedule_after t.sim ~delay (fun () ->
+          c.wake_scheduled <- false;
+          if c.mode = Midle && c.cur_handle = None then step t c)
+    in
+    ()
+  end
+
+and wake_idlers t ~delay =
+  Array.iter (fun c -> if c.mode = Midle then wake t c ~delay) t.zcores
+
+(* ---- inter-processor interrupts (§4.5, exit-less per §5) ---- *)
+
+and send_ipi t ~src v =
+  if not v.ipi_pending then begin
+    v.ipi_pending <- true;
+    t.ipis_sent <- t.ipis_sent + 1;
+    emit_trace t (Ipi { src; dst = v.id });
+    let _ : Sim.handle =
+      Sim.schedule_after t.sim ~delay:t.p.zy_ipi_latency (fun () -> deliver_ipi t v)
+    in
+    ()
+  end
+
+and deliver_ipi t v =
+  v.ipi_pending <- false;
+  match v.mode with
+  | Midle ->
+      (* Nothing to interrupt; treat as a wakeup hint. *)
+      wake t v ~delay:0.
+  | Mkernel ->
+      (* The kernel executes with interrupts disabled (§4.5); its loop will
+         find the pending work anyway. *)
+      ()
+  | Muser ->
+      v.ipis_received <- v.ipis_received + 1;
+      (* Handler, interrupting user-level execution: (1) process incoming
+         packets if the shuffle queue is empty; (2) execute all remote
+         batched syscalls and transmit (§4.5). *)
+      let rx_count =
+        if Sched.queue_length t.sched ~core:v.id = 0 then
+          min t.p.zy_rx_batch (Net.Ring.length v.hw)
+        else 0
+      in
+      let batches = RQ.drain v.remote in
+      if rx_count > 0 || batches <> [] then begin
+        let t0 = Sim.now t.sim +. t.p.zy_ipi_handler in
+        let after_rx = t0 +. (float_of_int (rx_count * t.p.rpc_packets) *. t.p.dp_rx) in
+        if rx_count > 0 then begin
+          (* Pop the ring at the moment the handler's receive work
+             completes — popping earlier and delivering later could let a
+             second IPI's packets overtake these on the same connection. *)
+          let _ : Sim.handle =
+            Sim.schedule t.sim ~at:after_rx (fun () ->
+                let rx_batch = pop_hw t v ~limit:rx_count in
+                emit_trace t (Rx { core = v.id; packets = List.length rx_batch });
+                List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) rx_batch;
+                wake_idlers t ~delay:t.p.zy_poll_delay)
+          in
+          ()
+        end;
+        let tx_end = transmit_batches t ~home:v.id ~from:after_rx batches in
+        extend_segment t v ~extra:(tx_end -. Sim.now t.sim)
+      end
+
+(* ---- kernel helpers ---- *)
+
+and pop_hw t v ~limit =
+  ignore t;
+  let rec loop acc n =
+    if n = 0 then List.rev acc
+    else
+      match Net.Ring.pop v.hw with
+      | None -> List.rev acc
+      | Some req -> loop (req :: acc) (n - 1)
+  in
+  loop [] limit
+
+(* Schedule the transmit work of remote batches starting at [from]; each
+   response completes after its syscall + tx cost, and each batch's
+   connection is released (Sched.complete) once its replies are on the
+   wire, per the §4.3 ownership rule. Returns the finish time. *)
+and transmit_batches t ~home ~from batches =
+  List.fold_left
+    (fun clock { pcb; reqs } ->
+      emit_trace t (Remote_tx { home; conn = Sched.conn pcb; responses = List.length reqs });
+      let clock =
+        List.fold_left
+          (fun clock req ->
+            let done_at =
+              clock +. t.p.zy_remote_syscall +. (float_of_int t.p.rpc_packets *. t.p.dp_tx)
+            in
+            let _ : Sim.handle = Sim.schedule t.sim ~at:done_at (fun () -> t.respond req) in
+            done_at)
+          clock reqs
+      in
+      let _ : Sim.handle =
+        Sim.schedule t.sim ~at:clock (fun () ->
+            Sched.complete t.sched pcb;
+            wake_idlers t ~delay:t.p.zy_poll_delay)
+      in
+      clock)
+    from batches
+
+(* ---- the per-core scheduler loop ---- *)
+
+and step t c =
+  assert (c.cur_handle = None);
+  if not (try_drain_remote t c) then
+    if not (try_dispatch t c) then if not (try_rx t c) then go_idle t c
+
+and try_drain_remote t c =
+  match RQ.drain c.remote with
+  | [] -> false
+  | batches ->
+      let finish_at = transmit_batches t ~home:c.id ~from:(Sim.now t.sim) batches in
+      start_segment t c ~mode:Mkernel ~cost:(finish_at -. Sim.now t.sim) ~finish:(fun () ->
+          step t c);
+      true
+
+and victim_order t c =
+  if t.p.zy_poll_random then Core.Steal_policy.victim_order c.policy
+  else Core.Steal_policy.round_robin_order c.policy
+
+and try_dispatch t c =
+  (* Own shuffle queue first, then steal in randomized victim order. *)
+  let order = victim_order t c in
+  match Sched.next t.sched ~core:c.id ~steal_order:order with
+  | None -> false
+  | Some (pcb, batch, source) ->
+      (match source with
+      | Sched.Local ->
+          emit_trace t
+            (Dispatch_local { core = c.id; conn = Sched.conn pcb; events = List.length batch });
+          process_batch t c pcb batch ~stolen_from:None
+      | Sched.Stolen v ->
+          emit_trace t
+            (Steal { thief = c.id; victim = v; conn = Sched.conn pcb; events = List.length batch });
+          process_batch t c pcb batch ~stolen_from:(Some v));
+      true
+
+and process_batch t c pcb batch ~stolen_from =
+  (* Execute the batch's events one at a time, alternating user execution
+     and (for local work) eager kernel transmit — §6.2: "processes events
+     individually, interleaving between user and kernel code". *)
+  let first = ref true in
+  let rec exec completed = function
+    | [] -> end_of_batch t c pcb (List.rev completed) ~stolen_from
+    | req :: rest ->
+        let steal_cost = if !first && stolen_from <> None then t.p.zy_steal else 0. in
+        first := false;
+        req.Request.started <- Sim.now t.sim;
+        let user_cost = steal_cost +. t.p.zy_shuffle +. req.Request.service in
+        start_segment t c ~mode:Muser ~cost:user_cost ~finish:(fun () ->
+            match stolen_from with
+            | None ->
+                (* Home core: transmit eagerly, in kernel mode. *)
+                start_segment t c ~mode:Mkernel
+                  ~cost:(float_of_int t.p.rpc_packets *. t.p.dp_tx) ~finish:(fun () ->
+                    t.respond req;
+                    exec (req :: completed) rest)
+            | Some _ -> exec (req :: completed) rest)
+  in
+  exec [] batch
+
+and end_of_batch t c pcb completed ~stolen_from =
+  match stolen_from with
+  | None ->
+      Sched.complete t.sched pcb;
+      step t c
+  | Some v ->
+      (* Remote core: the batch's syscalls return to the home core (§4.2
+         step (b)); ownership is released there once transmitted. *)
+      let home = t.zcores.(v) in
+      RQ.push home.remote { pcb; reqs = completed };
+      t.remote_batches <- t.remote_batches + 1;
+      (match home.mode with
+      | Midle -> wake t home ~delay:0.
+      | Muser -> if t.p.zy_interrupts then send_ipi t ~src:c.id home
+      | Mkernel -> ());
+      step t c
+
+and try_rx t c =
+  if Net.Ring.is_empty c.hw then false
+  else begin
+    let k = min t.p.zy_rx_batch (Net.Ring.length c.hw) in
+    let cost = t.p.dp_loop +. (float_of_int (k * t.p.rpc_packets) *. t.p.dp_rx) in
+    start_segment t c ~mode:Mkernel ~cost ~finish:(fun () ->
+        let batch = pop_hw t c ~limit:k in
+        emit_trace t (Rx { core = c.id; packets = List.length batch });
+        List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) batch;
+        wake_idlers t ~delay:t.p.zy_poll_delay;
+        step t c);
+    true
+  end
+
+and go_idle t c =
+  c.mode <- Midle;
+  (* Work-conservation invariant: this core just scanned every shuffle
+     queue and found nothing; if anything is ready now, the scheduler
+     failed to be work conserving. *)
+  if Sched.has_ready t.sched then t.wc_violations <- t.wc_violations + 1;
+  if t.p.zy_interrupts then scan_and_ipi t c
+
+(* Idle-loop steps (c)/(d) of §5: look at other cores' pending packet
+   queues; when a busy-at-user core has packets but an empty shuffle
+   queue, interrupt it so it replenishes the shuffle queue for stealing. *)
+and scan_and_ipi t c =
+  let order = victim_order t c in
+  Array.iter
+    (fun vid ->
+      let v = t.zcores.(vid) in
+      if v.mode = Muser then begin
+        let packets_blocked =
+          (not (Net.Ring.is_empty v.hw)) && Sched.queue_length t.sched ~core:vid = 0
+        in
+        let syscalls_blocked = not (RQ.is_empty v.remote) in
+        if packets_blocked || syscalls_blocked then send_ipi t ~src:c.id v
+      end)
+    order
+
+let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
+  let rss = Net.Rss.create ~queues:p.cores () in
+  let sched = Sched.create ~cores:p.cores in
+  let pcbs =
+    Array.init conns (fun c -> Sched.register sched ~conn:c ~home:(Net.Rss.queue_of_conn rss c))
+  in
+  let zcores =
+    Array.init p.cores (fun id ->
+        {
+          id;
+          hw = Net.Ring.create ~capacity:p.ring_capacity;
+          remote = RQ.create ();
+          policy = Core.Steal_policy.create ~rng:(Engine.Rng.split rng) ~cores:p.cores ~self:id;
+          mode = Midle;
+          cur_handle = None;
+          cur_finish = None;
+          cur_done_at = 0.;
+          ipi_pending = false;
+          wake_scheduled = false;
+          ipis_received = 0;
+        })
+  in
+  let t =
+    {
+      sim;
+      p;
+      sched;
+      pcbs;
+      zcores;
+      respond;
+      trace;
+      ipis_sent = 0;
+      remote_batches = 0;
+      wc_violations = 0;
+    }
+  in
+  let submit req =
+    let c = t.zcores.(Sched.home t.pcbs.(req.Request.conn)) in
+    if Net.Ring.push c.hw req then begin
+      match c.mode with
+      | Midle -> wake t c ~delay:p.dp_loop
+      | Muser ->
+          (* The home core is executing application code: only another,
+             idle, core can notice this packet (and IPI the home core). *)
+          if p.zy_interrupts then wake_idlers t ~delay:p.zy_poll_delay
+      | Mkernel -> ()
+    end
+  in
+  let info () =
+    let counters = Sched.total_counters t.sched in
+    let drops = Array.fold_left (fun acc c -> acc + Net.Ring.drops c.hw) 0 t.zcores in
+    [
+      ("steal_fraction", Sched.steal_fraction t.sched);
+      ("ipis_sent", float_of_int t.ipis_sent);
+      ("ring_drops", float_of_int drops);
+      ("local_events", float_of_int counters.Sched.local_events);
+      ("stolen_events", float_of_int counters.Sched.stolen_events);
+      ("remote_batches", float_of_int t.remote_batches);
+      ("wc_violations", float_of_int t.wc_violations);
+    ]
+  in
+  let name = if p.zy_interrupts then "zygos" else "zygos-noint" in
+  { Iface.name; submit; info }
+
+let work_conservation_violations (iface : Iface.t) =
+  match Iface.info_value iface "wc_violations" with
+  | Some v -> int_of_float v
+  | None -> invalid_arg "Zygos.work_conservation_violations: not a zygos system"

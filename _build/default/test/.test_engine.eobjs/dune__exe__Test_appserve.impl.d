@@ -1,0 +1,1 @@
+test/test_appserve.ml: Alcotest Experiments Kvstore Printf

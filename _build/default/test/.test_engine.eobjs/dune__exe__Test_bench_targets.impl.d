@@ -1,0 +1,1 @@
+test/test_bench_targets.ml: Alcotest Experiments Fun List Unix

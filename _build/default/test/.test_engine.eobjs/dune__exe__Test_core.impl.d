@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Core Domain Engine Fun Hashtbl List Option QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Atomic Engine Format Fun Kvstore List Models Net Printf Runtime Silo Stats String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Engine Experiments List Net Option Printf Stats Systems

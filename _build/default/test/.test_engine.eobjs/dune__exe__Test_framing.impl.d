@@ -1,0 +1,1 @@
+test/test_framing.ml: Alcotest Bytes Char Gen Int64 List Net QCheck QCheck_alcotest String

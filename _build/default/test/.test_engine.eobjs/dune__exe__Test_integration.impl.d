@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Engine Experiments Kvstore List Printf

@@ -1,0 +1,1 @@
+test/test_ix_model.ml: Alcotest Engine Float List Net Printf Systems

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Engine Gen Hashtbl Kvstore List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_linux_model.ml: Alcotest Engine Float List Net Printf Systems

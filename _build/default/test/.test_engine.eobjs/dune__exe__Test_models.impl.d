@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Engine List Models Printf Stats

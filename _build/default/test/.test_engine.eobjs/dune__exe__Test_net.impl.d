@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Char Engine Int32 List Net QCheck QCheck_alcotest Queue Stats

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Array List Printf QCheck QCheck_alcotest Silo String

@@ -1,0 +1,1 @@
+test/test_silo.ml: Alcotest Array Domain Engine Fun Hashtbl Lazy List Map Option Printf QCheck QCheck_alcotest Silo String

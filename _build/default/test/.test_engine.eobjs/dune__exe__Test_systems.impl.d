@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Engine Experiments List Option Printf Systems

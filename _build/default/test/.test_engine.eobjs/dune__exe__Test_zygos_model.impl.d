@@ -1,0 +1,1 @@
+test/test_zygos_model.ml: Alcotest Engine List Net Option Printf Systems

@@ -1,0 +1,74 @@
+(* Tests for Experiments.Appserve: real application work coupled into the
+   simulated servers. *)
+
+module Appserve = Experiments.Appserve
+module Run = Experiments.Run
+
+let kv_app () =
+  let wl = Kvstore.Workload.create ~records:2_000 Kvstore.Workload.Usr in
+  let store = Kvstore.Store.create ~capacity:4_000 () in
+  Appserve.create ~calibrate_over:500 ~target_mean_us:2.
+    (Appserve.Kv (wl, store))
+
+let test_calibration_scales_mean () =
+  let app = kv_app () in
+  Alcotest.(check (float 1e-9)) "mean is the target" 2. (Appserve.mean_us app);
+  (* Sample a lot of service times: the empirical mean must be within 50%
+     of the target (real measurements are noisy but clamped). *)
+  let n = 3_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Appserve.service_fn app ~conn:0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled mean %.2f within [1, 4]" mean)
+    true
+    (mean > 1. && mean < 4.)
+
+let test_service_fn_positive_and_counted () =
+  let app = kv_app () in
+  let before = Appserve.executed app in
+  let x = Appserve.service_fn app ~conn:3 in
+  Alcotest.(check bool) "positive duration" true (x > 0.);
+  Alcotest.(check int) "op counted" (before + 1) (Appserve.executed app)
+
+let test_run_point_through_simulator () =
+  let app = kv_app () in
+  let p = Appserve.run_point app ~system:Run.Zygos ~load:0.3 ~requests:4_000 () in
+  Alcotest.(check int) "ordering preserved" 0 p.Run.order_violations;
+  Alcotest.(check bool) "completed requests" true (p.Run.completed > 3_000);
+  Alcotest.(check bool) "tail above floor" true (p.Run.p99 > 1.)
+
+let test_validation () =
+  let wl = Kvstore.Workload.create ~records:100 Kvstore.Workload.Usr in
+  let store = Kvstore.Store.create ~capacity:200 () in
+  Alcotest.check_raises "negative mean" (Invalid_argument "Appserve.create: negative target mean")
+    (fun () ->
+      ignore
+        (Appserve.create ~target_mean_us:(-1.) (Appserve.Kv (wl, store)) : Appserve.t));
+  let app = kv_app () in
+  Alcotest.check_raises "unsupported system"
+    (Invalid_argument "Appserve.run_point: unsupported system kind") (fun () ->
+      ignore (Appserve.run_point app ~system:Run.Model_central_fcfs ~load:0.3 () : Run.point))
+
+let test_raw_mode_no_scaling () =
+  let wl = Kvstore.Workload.create ~records:500 Kvstore.Workload.Usr in
+  let store = Kvstore.Store.create ~capacity:1_000 () in
+  let app = Appserve.create ~calibrate_over:300 ~target_mean_us:0. (Appserve.Kv (wl, store)) in
+  (* Unscaled: the mean is whatever this machine measures, necessarily
+     positive. *)
+  Alcotest.(check bool) "raw mean positive" true (Appserve.mean_us app > 0.)
+
+let () =
+  Alcotest.run "appserve"
+    [
+      ( "appserve",
+        [
+          Alcotest.test_case "calibration" `Quick test_calibration_scales_mean;
+          Alcotest.test_case "service fn" `Quick test_service_fn_positive_and_counted;
+          Alcotest.test_case "through simulator" `Quick test_run_point_through_simulator;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "raw mode" `Quick test_raw_mode_no_scaling;
+        ] );
+    ]

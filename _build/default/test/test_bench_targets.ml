@@ -1,0 +1,50 @@
+(* Regression net over deliverable (d): every bench target must run to
+   completion at a tiny scale without raising, and the registry must stay
+   complete. The heavyweight sweep targets (fig3/fig6/fig7) are exercised
+   once each at the minimum request budget; everything else too. Output is
+   redirected away so test logs stay readable. *)
+
+let with_quiet_stdout f =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
+let fast_targets =
+  [ "fig2"; "fig8"; "fig9"; "fig10a"; "fig10b"; "table1"; "fig11"; "ablate-poll";
+    "ablate-batch"; "ext-preempt"; "ext-rebalance"; "ext-consolidate" ]
+
+let slow_targets = [ "fig3"; "fig7"; "fig6" ]
+
+let run_target name =
+  match List.assoc_opt name Experiments.Figures.all_targets with
+  | None -> Alcotest.failf "target %s missing from registry" name
+  | Some f -> with_quiet_stdout (fun () -> f ~scale:0.01)
+
+let test_fast_targets () = List.iter run_target fast_targets
+
+let test_slow_targets () = List.iter run_target slow_targets
+
+let test_registry_complete () =
+  let names = List.map fst Experiments.Figures.all_targets in
+  List.iter
+    (fun n -> if not (List.mem n names) then Alcotest.failf "missing: %s" n)
+    (fast_targets @ slow_targets)
+
+let () =
+  Alcotest.run "bench-targets"
+    [
+      ( "targets",
+        [
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "fast targets run" `Slow test_fast_targets;
+          Alcotest.test_case "sweep targets run" `Slow test_slow_targets;
+        ] );
+    ]

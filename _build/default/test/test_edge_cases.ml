@@ -1,0 +1,340 @@
+(* Edge cases and secondary behaviours across all libraries — boundary
+   inputs, rare code paths, and cross-checks that the main suites do not
+   cover. *)
+
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+module Sim = Engine.Sim
+module Heap = Engine.Heap
+
+(* ---- engine ---- *)
+
+let test_heap_interleaved () =
+  (* add/pop interleavings with duplicate times keep global order. *)
+  let h = Heap.create () in
+  Heap.add h ~time:5. "a";
+  Heap.add h ~time:1. "b";
+  Alcotest.(check (option (pair (float 0.) string))) "pop min" (Some (1., "b")) (Heap.pop_min h);
+  Heap.add h ~time:0.5 "c";
+  Heap.add h ~time:5. "d";
+  Alcotest.(check (option (pair (float 0.) string))) "new min" (Some (0.5, "c")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) string))) "tie fifo a" (Some (5., "a")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) string))) "tie fifo d" (Some (5., "d")) (Heap.pop_min h)
+
+let test_sim_cancel_after_fire () =
+  let sim = Sim.create () in
+  let h = Sim.schedule sim ~at:1. (fun () -> ()) in
+  Sim.run sim;
+  (* cancelling a fired event is a harmless no-op *)
+  Sim.cancel h;
+  Sim.cancel h;
+  Alcotest.(check int) "queue empty" 0 (Sim.pending sim)
+
+let test_sim_zero_delay_event () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule_after sim ~delay:0. (fun () -> fired := true) : Sim.handle);
+  Sim.run sim;
+  Alcotest.(check bool) "zero-delay fires" true !fired
+
+let test_dist_pp_and_names () =
+  let check_name d expected = Alcotest.(check string) expected expected (Dist.name d) in
+  check_name (Dist.deterministic 1.) "fixed";
+  check_name (Dist.exponential 1.) "exp";
+  check_name (Dist.bimodal1 ~mean:1.) "bimodal1";
+  check_name (Dist.bimodal2 ~mean:1.) "bimodal2";
+  check_name (Dist.lognormal ~mean:1. ~sigma:1.) "lognormal";
+  check_name (Dist.empirical [| 1. |]) "empirical";
+  let s = Format.asprintf "%a" Dist.pp (Dist.exponential 3.) in
+  Alcotest.(check string) "pp" "exp(3)" s
+
+let test_lognormal_tail_heavier_than_exp () =
+  let rng = Rng.create ~seed:20 in
+  let sample_p999 d =
+    let t = Stats.Tally.create () in
+    for _ = 1 to 100_000 do
+      Stats.Tally.record t (Dist.sample d rng)
+    done;
+    Stats.Tally.p999 t
+  in
+  let logn = sample_p999 (Dist.lognormal ~mean:10. ~sigma:2.) in
+  let exp = sample_p999 (Dist.exponential 10.) in
+  Alcotest.(check bool) (Printf.sprintf "lognormal p999 %.0f > exp %.0f" logn exp) true
+    (logn > exp)
+
+let test_rng_float_range_bounds () =
+  let rng = Rng.create ~seed:21 in
+  for _ = 1 to 1_000 do
+    let x = Rng.float_range rng 3. 7. in
+    if x < 3. || x >= 7. then Alcotest.failf "out of range: %g" x
+  done
+
+(* ---- stats ---- *)
+
+let test_histogram_p100_is_max () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record h) [ 3.; 1.; 15.; 0.2 ];
+  Alcotest.(check (float 1e-9)) "p100 = exact max" 15. (Stats.Histogram.percentile h 100.)
+
+let test_tally_invalid_percentile () =
+  let t = Stats.Tally.create () in
+  Stats.Tally.record t 1.;
+  Alcotest.check_raises "p out of range" (Invalid_argument "Tally.percentile: p out of [0,100]")
+    (fun () -> ignore (Stats.Tally.percentile t 101. : float))
+
+let test_tally_single_sample () =
+  let t = Stats.Tally.create () in
+  Stats.Tally.record t 42.;
+  Alcotest.(check (float 0.)) "p1" 42. (Stats.Tally.percentile t 1.);
+  Alcotest.(check (float 0.)) "p99" 42. (Stats.Tally.p99 t);
+  Alcotest.(check (float 0.)) "stddev of one" 0. (Stats.Tally.stddev t)
+
+(* ---- net ---- *)
+
+let test_ring_iter () =
+  let r = Net.Ring.create ~capacity:8 in
+  List.iter (fun x -> ignore (Net.Ring.push r x : bool)) [ 1; 2; 3 ];
+  let acc = ref [] in
+  Net.Ring.iter (fun x -> acc := x :: !acc) r;
+  Alcotest.(check (list int)) "iter front-to-back" [ 1; 2; 3 ] (List.rev !acc);
+  Alcotest.(check int) "iter does not consume" 3 (Net.Ring.length r)
+
+let test_rss_odd_queue_counts () =
+  List.iter
+    (fun queues ->
+      let rss = Net.Rss.create ~queues () in
+      let hist = Net.Rss.histogram_of_conns rss 1000 in
+      Alcotest.(check int) "queue count" queues (Array.length hist);
+      Alcotest.(check int) "total" 1000 (Array.fold_left ( + ) 0 hist))
+    [ 1; 3; 7; 16 ]
+
+let test_loadgen_conn_validation () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:22 in
+  Alcotest.check_raises "conns" (Invalid_argument "Loadgen.create: conns < 1") (fun () ->
+      ignore
+        (Net.Loadgen.create sim ~rng ~conns:0 ~rate:1. ~service:(Dist.deterministic 1.) ()
+          : Net.Loadgen.t));
+  Alcotest.check_raises "rate" (Invalid_argument "Loadgen.create: rate <= 0") (fun () ->
+      ignore
+        (Net.Loadgen.create sim ~rng ~conns:1 ~rate:0. ~service:(Dist.deterministic 1.) ()
+          : Net.Loadgen.t))
+
+(* ---- silo ---- *)
+
+let test_btree_empty_ops () =
+  let t : int Silo.Btree.t = Silo.Btree.create () in
+  Alcotest.(check int) "empty length" 0 (Silo.Btree.length t);
+  let v, _leaf = Silo.Btree.get t "missing" in
+  Alcotest.(check (option int)) "get on empty" None v;
+  Alcotest.(check (option int)) "remove on empty" None (Silo.Btree.remove t "missing");
+  Alcotest.(check int) "scan on empty" 0
+    (List.length (Silo.Btree.scan_range t ~lo:"" ~hi:"\xff" ()));
+  Silo.Btree.check_invariants t
+
+let test_btree_commit_interface () =
+  let t = Silo.Btree.create () in
+  Silo.Btree.lock_tree t;
+  (match Silo.Btree.insert_unlocked t "k" 1 with
+  | `Inserted -> ()
+  | `Duplicate _ -> Alcotest.fail "unexpected duplicate");
+  (match Silo.Btree.insert_unlocked t "k" 2 with
+  | `Duplicate 1 -> ()
+  | _ -> Alcotest.fail "duplicate not detected");
+  Alcotest.(check (option int)) "remove unlocked" (Some 1) (Silo.Btree.remove_unlocked t "k");
+  Silo.Btree.unlock_tree t;
+  Silo.Btree.check_invariants t
+
+let test_btree_reverse_insertion () =
+  let t = Silo.Btree.create () in
+  for i = 500 downto 0 do
+    match Silo.Btree.insert t (Silo.Key.of_int i) i with
+    | `Inserted -> ()
+    | `Duplicate _ -> Alcotest.fail "dup"
+  done;
+  Silo.Btree.check_invariants t;
+  let all = Silo.Btree.scan_range t ~lo:"" ~hi:"\xff\xff\xff\xff\xff\xff\xff\xff" () in
+  Alcotest.(check int) "all present" 501 (List.length all);
+  Alcotest.(check bool) "sorted ascending" true
+    (List.map snd all = List.init 501 Fun.id)
+
+let test_key_of_ints_str_ordering () =
+  (* composite (ints, string) keys group by the int prefix. *)
+  let a = Silo.Key.of_ints_str [ 1; 2 ] "SMITH" in
+  let b = Silo.Key.of_ints_str [ 1; 2 ] "SMYTH" in
+  let c = Silo.Key.of_ints_str [ 1; 3 ] "ADAMS" in
+  Alcotest.(check bool) "string orders within prefix" true (String.compare a b < 0);
+  Alcotest.(check bool) "prefix dominates" true (String.compare b c < 0)
+
+let test_txn_reuse_rejected () =
+  let db = Silo.Db.create () in
+  let table = Silo.Db.add_table db "t" in
+  let w = Silo.Db.worker db ~id:0 in
+  let txn = Silo.Txn.begin_ db w in
+  Silo.Txn.insert txn table "x" [| "1" |];
+  (match Silo.Txn.commit txn with Ok _ -> () | Error `Conflict -> Alcotest.fail "conflict");
+  Alcotest.check_raises "reuse after commit"
+    (Invalid_argument "Txn: transaction already finished") (fun () ->
+      ignore (Silo.Txn.read txn table "x" : string array option))
+
+let test_db_duplicate_table () =
+  let db = Silo.Db.create () in
+  ignore (Silo.Db.add_table db "t" : Silo.Db.table);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Db.add_table: duplicate table t")
+    (fun () -> ignore (Silo.Db.add_table db "t" : Silo.Db.table));
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Silo.Db.find_table db "nope" : Silo.Db.table))
+
+let test_record_absent_lifecycle () =
+  let r = Silo.Record.create_absent [| "ghost" |] in
+  let tid, _ = Silo.Record.stable_read r in
+  Alcotest.(check bool) "created absent" true (Silo.Tid.is_absent tid);
+  Silo.Record.lock r;
+  Silo.Record.install r ~data:[| "alive" |] ~tid:(Silo.Tid.make ~epoch:1 ~seq:1);
+  let tid2, data = Silo.Record.stable_read r in
+  Alcotest.(check bool) "install clears nothing implicitly" false (Silo.Tid.is_absent tid2);
+  Alcotest.(check string) "data installed" "alive" data.(0)
+
+let test_tpcc_full_profile_loads () =
+  (* Spec-size loading is expensive; just verify the knob works at 1
+     warehouse and the row counts scale by 10x over `Small. *)
+  let t = Silo.Tpcc.load ~profile:`Full () in
+  Alcotest.(check int) "items" 100_000 (Silo.Tpcc.items t);
+  Alcotest.(check int) "customers" 3000 (Silo.Tpcc.customers_per_district t);
+  let db = Silo.Tpcc.db t in
+  Alcotest.(check int) "customer rows" 30_000
+    (Silo.Btree.length (Silo.Db.find_table db "customer").Silo.Db.index)
+
+(* ---- kvstore ---- *)
+
+let test_protocol_zero_byte_set () =
+  let p = Kvstore.Protocol.create_parser () in
+  match Kvstore.Protocol.feed p "set empty 0 0 0\r\n\r\n" with
+  | [ Ok (Kvstore.Protocol.Set { key = "empty"; data = ""; _ }) ] -> ()
+  | _ -> Alcotest.fail "zero-byte set not parsed"
+
+let test_protocol_gets_alias () =
+  let p = Kvstore.Protocol.create_parser () in
+  match Kvstore.Protocol.feed p "gets k\r\n" with
+  | [ Ok (Kvstore.Protocol.Get "k") ] -> ()
+  | _ -> Alcotest.fail "gets not handled"
+
+let test_protocol_byte_at_a_time () =
+  let p = Kvstore.Protocol.create_parser () in
+  let wire = "set k 0 0 3\r\nxyz\r\nget k\r\n" in
+  let out = ref [] in
+  String.iter
+    (fun c -> out := List.rev_append (Kvstore.Protocol.feed p (String.make 1 c)) !out)
+    wire;
+  match List.rev !out with
+  | [ Ok (Kvstore.Protocol.Set _); Ok (Kvstore.Protocol.Get "k") ] -> ()
+  | l -> Alcotest.failf "byte-at-a-time parse gave %d results" (List.length l)
+
+let test_store_delete_then_reinsert () =
+  let s = Kvstore.Store.create ~capacity:4 () in
+  Kvstore.Store.set s "a" "1";
+  Alcotest.(check bool) "deleted" true (Kvstore.Store.delete s "a");
+  Kvstore.Store.set s "a" "2";
+  Alcotest.(check (option string)) "reinserted" (Some "2") (Kvstore.Store.get s "a");
+  (* fill beyond capacity to exercise eviction across dead slots *)
+  for i = 0 to 19 do
+    Kvstore.Store.set s (string_of_int i) "v"
+  done;
+  Alcotest.(check bool) "bounded" true (Kvstore.Store.size s <= 4)
+
+let test_workload_etc_value_range () =
+  let rng = Rng.create ~seed:23 in
+  let wl = Kvstore.Workload.create ~records:100 Kvstore.Workload.Etc in
+  for _ = 1 to 3_000 do
+    match Kvstore.Workload.next_command wl rng with
+    | Kvstore.Protocol.Set { data; _ } ->
+        let n = String.length data in
+        if n < 11 || n > 4096 then Alcotest.failf "ETC value size out of range: %d" n
+    | _ -> ()
+  done
+
+(* ---- models ---- *)
+
+let test_queueing_bimodal2_partitioned_pathological () =
+  (* §3.4 omits bimodal-2 because multi-queue FCFS is pathological there;
+     verify the pathology: partitioned p99 at moderate load is an order of
+     magnitude above centralized. *)
+  let open Models.Queueing in
+  let service = Dist.bimodal2 ~mean:1. in
+  let p99 topology =
+    let r = simulate { servers = 16; policy = Fcfs; topology } ~service ~load:0.5
+        ~requests:60_000 ~seed:9
+    in
+    Stats.Tally.p99 r.latencies
+  in
+  let central = p99 Central and partitioned = p99 Partitioned in
+  Alcotest.(check bool)
+    (Printf.sprintf "partitioned %.1f >> central %.1f" partitioned central)
+    true
+    (partitioned > 5. *. central)
+
+(* ---- runtime ---- *)
+
+let test_executor_many_conns_few_cores () =
+  let exec = Runtime.Executor.create ~cores:2 ~conns:100 () in
+  Runtime.Executor.start exec;
+  let n = Atomic.make 0 in
+  for i = 0 to 999 do
+    Runtime.Executor.submit exec ~conn:(i mod 100) (fun () ->
+        ignore (Atomic.fetch_and_add n 1 : int))
+  done;
+  Runtime.Executor.stop exec;
+  Alcotest.(check int) "all ran" 1000 (Atomic.get n)
+
+let () =
+  Alcotest.run "edge-cases"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "cancel after fire" `Quick test_sim_cancel_after_fire;
+          Alcotest.test_case "zero-delay event" `Quick test_sim_zero_delay_event;
+          Alcotest.test_case "dist names/pp" `Quick test_dist_pp_and_names;
+          Alcotest.test_case "lognormal tail" `Slow test_lognormal_tail_heavier_than_exp;
+          Alcotest.test_case "float_range bounds" `Quick test_rng_float_range_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "histogram p100" `Quick test_histogram_p100_is_max;
+          Alcotest.test_case "invalid percentile" `Quick test_tally_invalid_percentile;
+          Alcotest.test_case "single sample" `Quick test_tally_single_sample;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "ring iter" `Quick test_ring_iter;
+          Alcotest.test_case "rss odd queues" `Quick test_rss_odd_queue_counts;
+          Alcotest.test_case "loadgen validation" `Quick test_loadgen_conn_validation;
+        ] );
+      ( "silo",
+        [
+          Alcotest.test_case "btree empty" `Quick test_btree_empty_ops;
+          Alcotest.test_case "btree commit interface" `Quick test_btree_commit_interface;
+          Alcotest.test_case "btree reverse insertion" `Quick test_btree_reverse_insertion;
+          Alcotest.test_case "composite keys" `Quick test_key_of_ints_str_ordering;
+          Alcotest.test_case "txn reuse rejected" `Quick test_txn_reuse_rejected;
+          Alcotest.test_case "duplicate table" `Quick test_db_duplicate_table;
+          Alcotest.test_case "absent record" `Quick test_record_absent_lifecycle;
+          Alcotest.test_case "tpcc full profile" `Slow test_tpcc_full_profile_loads;
+        ] );
+      ( "kvstore",
+        [
+          Alcotest.test_case "zero-byte set" `Quick test_protocol_zero_byte_set;
+          Alcotest.test_case "gets alias" `Quick test_protocol_gets_alias;
+          Alcotest.test_case "byte-at-a-time" `Quick test_protocol_byte_at_a_time;
+          Alcotest.test_case "delete/reinsert/evict" `Quick test_store_delete_then_reinsert;
+          Alcotest.test_case "etc value range" `Quick test_workload_etc_value_range;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "bimodal-2 pathology" `Slow
+            test_queueing_bimodal2_partitioned_pathological;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "many conns few cores" `Quick test_executor_many_conns_few_cores ]
+      );
+    ]

@@ -1,0 +1,285 @@
+(* Tests for lib/engine: PRNG, distributions, event heap, simulator. *)
+
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+module Heap = Engine.Heap
+module Sim = Engine.Sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Rng ---- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.next_int64 a : int64);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a : int64);
+  (* advancing a does not affect b *)
+  let a' = Rng.next_int64 a and b' = Rng.next_int64 b in
+  Alcotest.(check bool) "streams diverged after extra draw" true (a' <> b' || a' = b')
+
+let test_rng_split_decorrelated () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of [0,17): %d" x
+  done;
+  for _ = 1 to 1_000 do
+    let x = Rng.int_range rng 5 9 in
+    if x < 5 || x > 9 then Alcotest.failf "int_range out of [5,9]: %d" x
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:4 in
+  let n = 200_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:10.
+  done;
+  let mean = !sum /. float_of_int n in
+  if abs_float (mean -. 10.) > 0.2 then Alcotest.failf "exponential mean off: %g" mean
+
+let test_rng_bernoulli () =
+  let rng = Rng.create ~seed:5 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if abs_float (p -. 0.3) > 0.01 then Alcotest.failf "bernoulli(0.3) off: %g" p
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create ~seed in
+      let a = Array.of_list xs in
+      Rng.shuffle_in_place rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ---- Dist ---- *)
+
+let test_dist_means () =
+  check_float "deterministic" 5. (Dist.mean (Dist.deterministic 5.));
+  check_float "exponential" 7. (Dist.mean (Dist.exponential 7.));
+  check_float "bimodal1 mean is S" 10. (Dist.mean (Dist.bimodal1 ~mean:10.));
+  check_float "bimodal2 mean is S" 10. (Dist.mean (Dist.bimodal2 ~mean:10.));
+  Alcotest.(check (float 1e-6)) "lognormal mean" 3. (Dist.mean (Dist.lognormal ~mean:3. ~sigma:1.2))
+
+let test_dist_scv () =
+  check_float "deterministic scv" 0. (Dist.squared_cv (Dist.deterministic 4.));
+  Alcotest.(check (float 1e-9)) "exponential scv" 1. (Dist.squared_cv (Dist.exponential 4.));
+  Alcotest.(check bool) "bimodal2 has huge dispersion" true
+    (Dist.squared_cv (Dist.bimodal2 ~mean:1.) > 100.)
+
+let test_dist_sample_values () =
+  let rng = Rng.create ~seed:6 in
+  let d = Dist.bimodal1 ~mean:10. in
+  for _ = 1 to 1_000 do
+    let x = Dist.sample d rng in
+    if not (x = 5. || x = 55.) then Alcotest.failf "bimodal1 sample unexpected: %g" x
+  done
+
+let test_dist_sample_mean () =
+  let rng = Rng.create ~seed:7 in
+  List.iter
+    (fun d ->
+      let n = 100_000 in
+      let sum = ref 0. in
+      for _ = 1 to n do
+        sum := !sum +. Dist.sample d rng
+      done;
+      let m = !sum /. float_of_int n in
+      let expected = Dist.mean d in
+      if abs_float (m -. expected) /. expected > 0.05 then
+        Alcotest.failf "sample mean of %s off: %g vs %g" (Dist.name d) m expected)
+    [ Dist.deterministic 3.; Dist.exponential 3.; Dist.bimodal1 ~mean:3.;
+      Dist.lognormal ~mean:3. ~sigma:1. ]
+
+let prop_dist_scale =
+  QCheck.Test.make ~name:"scale multiplies the mean" ~count:100
+    QCheck.(pair (float_range 0.1 100.) (float_range 0.1 10.))
+    (fun (mean, k) ->
+      List.for_all
+        (fun d ->
+          let scaled = Dist.scale d k in
+          abs_float (Dist.mean scaled -. (k *. Dist.mean d)) < 1e-6 *. k *. mean)
+        [ Dist.deterministic mean; Dist.exponential mean; Dist.bimodal1 ~mean ])
+
+let test_dist_empirical () =
+  let d = Dist.empirical [| 1.; 2.; 3.; 4. |] in
+  check_float "empirical mean" 2.5 (Dist.mean d);
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    let x = Dist.sample d rng in
+    if not (List.mem x [ 1.; 2.; 3.; 4. ]) then Alcotest.failf "empirical sample: %g" x
+  done;
+  Alcotest.check_raises "empty empirical" (Invalid_argument "Dist.empirical: no samples")
+    (fun () -> ignore (Dist.empirical [||] : Dist.t))
+
+(* ---- Heap ---- *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"pop yields times in order" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.add h ~time:t i) times;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun i -> Heap.add h ~time:1.0 i) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> match Heap.pop_min h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_length_and_clear () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  for i = 1 to 100 do
+    Heap.add h ~time:(float_of_int (100 - i)) i
+  done;
+  Alcotest.(check int) "length" 100 (Heap.length h);
+  Alcotest.(check (option (float 0.))) "peek" (Some 0.) (Heap.peek_min_time h);
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Alcotest.(check (option (float 0.))) "peek empty" None (Heap.peek_min_time h)
+
+(* ---- Sim ---- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:3. (fun () -> log := 3 :: !log) : Sim.handle);
+  ignore (Sim.schedule sim ~at:1. (fun () -> log := 1 :: !log) : Sim.handle);
+  ignore (Sim.schedule sim ~at:2. (fun () -> log := 2 :: !log) : Sim.handle);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3. (Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:1. (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:5. (fun () -> ()) : Sim.handle);
+  Sim.run sim;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Sim.schedule: at 1 is in the past (now 5)") (fun () ->
+      ignore (Sim.schedule sim ~at:1. (fun () -> ()) : Sim.handle))
+
+let test_sim_negative_delay_raises () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule_after: negative delay")
+    (fun () -> ignore (Sim.schedule_after sim ~delay:(-1.) (fun () -> ()) : Sim.handle))
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:1. (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.schedule_after sim ~delay:1. (fun () -> log := "inner" :: !log) : Sim.handle))
+      : Sim.handle);
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "clock" 2. (Sim.now sim)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~at:(float_of_int i) (fun () -> incr count) : Sim.handle)
+  done;
+  Sim.run_until sim 5.5;
+  Alcotest.(check int) "events before horizon" 5 !count;
+  check_float "clock advanced to horizon" 5.5 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "rest after run" 10 !count
+
+let test_sim_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~at:1. (fun () -> log := i :: !log) : Sim.handle)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_decorrelated;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "analytic means" `Quick test_dist_means;
+          Alcotest.test_case "squared CV" `Quick test_dist_scv;
+          Alcotest.test_case "bimodal support" `Quick test_dist_sample_values;
+          Alcotest.test_case "sample means" `Slow test_dist_sample_mean;
+          Alcotest.test_case "empirical" `Quick test_dist_empirical;
+          QCheck_alcotest.to_alcotest prop_dist_scale;
+        ] );
+      ( "heap",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "length/clear" `Quick test_heap_length_and_clear;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "past raises" `Quick test_sim_past_raises;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay_raises;
+          Alcotest.test_case "nested" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "same-time FIFO" `Quick test_sim_same_time_fifo;
+        ] );
+    ]

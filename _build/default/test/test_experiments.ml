@@ -1,0 +1,102 @@
+(* Tests for lib/experiments: the point runner, sweeps, SLO bisection, and
+   output formatting — the plumbing every figure depends on. *)
+
+module Run = Experiments.Run
+module Output = Experiments.Output
+module Dist = Engine.Dist
+
+let exp10 = Dist.exponential 10.
+
+let test_config_defaults () =
+  let cfg = Run.config ~system:Run.Zygos ~service:exp10 () in
+  Alcotest.(check int) "cores" 16 cfg.Run.cores;
+  Alcotest.(check int) "conns" 2752 cfg.Run.conns;
+  Alcotest.(check int) "requests" 30_000 cfg.Run.requests
+
+let test_system_names () =
+  Alcotest.(check string) "ix" "ix" (Run.system_name (Run.Ix 1));
+  Alcotest.(check string) "ix-b64" "ix-b64" (Run.system_name (Run.Ix 64));
+  Alcotest.(check string) "zygos" "zygos" (Run.system_name Run.Zygos);
+  Alcotest.(check string) "model" "M/G/n/FCFS" (Run.system_name Run.Model_central_fcfs);
+  Alcotest.(check int) "five real systems" 5 (List.length Run.all_real_systems)
+
+let test_run_point_fields () =
+  let cfg = Run.config ~system:Run.Zygos ~service:exp10 ~requests:8_000 () in
+  let p = Run.run_point cfg ~load:0.5 in
+  Alcotest.(check (float 1e-9)) "load echoed" 0.5 p.Run.load;
+  Alcotest.(check (float 1e-6)) "offered rate = load*n/S" 0.8 p.Run.offered_rate;
+  Alcotest.(check bool) "latency ordering" true
+    (p.Run.p50 <= p.Run.p99 && p.Run.p99 <= p.Run.p999);
+  Alcotest.(check bool) "mean sane" true (p.Run.mean >= 10.)
+
+let test_model_point () =
+  let cfg = Run.config ~system:Run.Model_central_fcfs ~service:exp10 ~requests:20_000 () in
+  let p = Run.run_point cfg ~load:0.3 in
+  (* Zero-overhead model at low load: p99 ~= service p99 = 46µs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "model p99 %.1f near 46" p.Run.p99)
+    true
+    (abs_float (p.Run.p99 -. 46.) < 3.)
+
+let test_sweep () =
+  let cfg = Run.config ~system:(Run.Ix 1) ~service:exp10 ~requests:6_000 () in
+  let points = Run.sweep cfg ~loads:[ 0.2; 0.4; 0.6 ] in
+  Alcotest.(check int) "one point per load" 3 (List.length points);
+  let p99s = List.map (fun p -> p.Run.p99) points in
+  Alcotest.(check bool) "p99 grows with load" true (List.sort compare p99s = p99s)
+
+let test_max_load_at_slo () =
+  let cfg = Run.config ~system:Run.Zygos ~service:exp10 ~requests:10_000 () in
+  let load, point = Run.max_load_at_slo cfg ~slo_p99:100. ~resolution:0.02 () in
+  Alcotest.(check bool) "in range" true (load > 0.3 && load <= 0.99);
+  Alcotest.(check bool) "point meets slo" true (point.Run.p99 <= 100.);
+  (* Paper §6.1: ZygOS achieves 75% of max load at SLO 10x mean for 10µs
+     exponential tasks. Accept 0.68–0.92 for the reproduction. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "zygos max load %.2f near paper's 0.75" load)
+    true
+    (load >= 0.68 && load <= 0.92)
+
+let test_max_load_zero_when_impossible () =
+  (* An SLO below the minimum possible latency is never met. *)
+  let cfg = Run.config ~system:(Run.Ix 1) ~service:exp10 ~requests:5_000 () in
+  let load, _ = Run.max_load_at_slo cfg ~slo_p99:5. () in
+  Alcotest.(check (float 0.)) "impossible SLO" 0. load
+
+let test_output_table_arity () =
+  Alcotest.check_raises "row arity" (Invalid_argument "Output.print_table: row arity mismatch")
+    (fun () -> Output.print_table ~columns:[ "a"; "b" ] ~rows:[ [ "only-one" ] ])
+
+let test_output_formatters () =
+  Alcotest.(check string) "f1" "1.2" (Output.f1 1.23);
+  Alcotest.(check string) "f2" "1.23" (Output.f2 1.234);
+  Alcotest.(check string) "f3" "1.234" (Output.f3 1.2341);
+  Alcotest.(check string) "pct" "75.3%" (Output.pct 0.753)
+
+let test_figures_registry () =
+  let names = List.map fst Experiments.Figures.all_targets in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then Alcotest.failf "missing bench target %s" expected)
+    [ "fig2"; "fig3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10a"; "fig10b"; "table1"; "fig11" ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "config defaults" `Quick test_config_defaults;
+          Alcotest.test_case "system names" `Quick test_system_names;
+          Alcotest.test_case "point fields" `Quick test_run_point_fields;
+          Alcotest.test_case "model point" `Quick test_model_point;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "max load at slo" `Slow test_max_load_at_slo;
+          Alcotest.test_case "impossible slo" `Quick test_max_load_zero_when_impossible;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "table arity" `Quick test_output_table_arity;
+          Alcotest.test_case "formatters" `Quick test_output_formatters;
+          Alcotest.test_case "figures registry" `Quick test_figures_registry;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for Net.Framing: the binary RPC framing layer and the synthetic
+   spin protocol, including roundtrip-under-arbitrary-packetization
+   properties (the §6.2 byte-stream reality). *)
+
+module Framing = Net.Framing
+
+let test_encode_shape () =
+  let wire = Framing.encode "abc" in
+  Alcotest.(check int) "4-byte prefix" 7 (String.length wire);
+  Alcotest.(check string) "payload at offset 4" "abc" (String.sub wire 4 3);
+  Alcotest.(check int) "prefix value" 3 (Char.code wire.[3])
+
+let test_segment_boundaries () =
+  let packets = Framing.segment ~mtu:4 "0123456789" in
+  Alcotest.(check (list string)) "4-byte packets" [ "0123"; "4567"; "89" ] packets;
+  Alcotest.(check (list string)) "small message, one packet" [ "ab" ]
+    (Framing.segment ~mtu:1460 "ab");
+  Alcotest.(check (list string)) "empty stream" [] (Framing.segment "");
+  Alcotest.check_raises "mtu" (Invalid_argument "Framing.segment: mtu < 1") (fun () ->
+      ignore (Framing.segment ~mtu:0 "x" : string list))
+
+let test_packets_per_message () =
+  Alcotest.(check int) "small rpc, 1 packet" 1 (Framing.packets_per_message 100);
+  Alcotest.(check int) "1456-byte payload exactly fits" 1 (Framing.packets_per_message 1456);
+  Alcotest.(check int) "1457 bytes spills" 2 (Framing.packets_per_message 1457);
+  (* a TPC-C-sized 4KB response needs 3 packets — the Silo experiments'
+     rpc_packets = 3 *)
+  Alcotest.(check int) "4KB response" 3 (Framing.packets_per_message 4096)
+
+let test_reassembler_basic () =
+  let r = Framing.Reassembler.create () in
+  let wire = Framing.encode "hello" ^ Framing.encode "world" in
+  match Framing.Reassembler.feed r wire with
+  | Ok msgs -> Alcotest.(check (list string)) "both messages" [ "hello"; "world" ] msgs
+  | Error e -> Alcotest.fail e
+
+let test_reassembler_fragmented () =
+  let r = Framing.Reassembler.create () in
+  let wire = Framing.encode "hello" in
+  (* split mid-prefix and mid-payload *)
+  let p1 = String.sub wire 0 2
+  and p2 = String.sub wire 2 4
+  and p3 = String.sub wire 6 (String.length wire - 6) in
+  (match Framing.Reassembler.feed r p1 with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "no message from 2 bytes");
+  (match Framing.Reassembler.feed r p2 with
+  | Ok [] -> Alcotest.(check bool) "bytes pending" true (Framing.Reassembler.pending_bytes r > 0)
+  | _ -> Alcotest.fail "no message yet");
+  match Framing.Reassembler.feed r p3 with
+  | Ok [ "hello" ] -> ()
+  | _ -> Alcotest.fail "message not completed"
+
+let test_reassembler_corrupt () =
+  let r = Framing.Reassembler.create () in
+  (* a length prefix of 0xffffffff = -1 as a signed int32 *)
+  match Framing.Reassembler.feed r "\xff\xff\xff\xff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt prefix accepted"
+
+let prop_roundtrip_any_packetization =
+  QCheck.Test.make ~name:"messages survive arbitrary packetization" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (string_of_size Gen.(0 -- 200))) (int_range 1 50))
+    (fun (messages, mtu) ->
+      let wire = String.concat "" (List.map Framing.encode messages) in
+      let packets = Framing.segment ~mtu wire in
+      let r = Framing.Reassembler.create () in
+      let out =
+        List.concat_map
+          (fun p ->
+            match Framing.Reassembler.feed r p with
+            | Ok msgs -> msgs
+            | Error e -> QCheck.Test.fail_reportf "reassembly error: %s" e)
+          packets
+      in
+      out = messages && Framing.Reassembler.pending_bytes r = 0)
+
+let prop_segment_concat_identity =
+  QCheck.Test.make ~name:"segment preserves the byte stream" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 5000)) (int_range 1 2000))
+    (fun (stream, mtu) ->
+      String.concat "" (Framing.segment ~mtu stream) = stream
+      && List.for_all (fun p -> String.length p <= mtu) (Framing.segment ~mtu stream))
+
+let test_spin_roundtrip () =
+  let req = { Framing.Spin.id = 123456789; spin_us = 10.5 } in
+  let r = Framing.Reassembler.create () in
+  match Framing.Reassembler.feed r (Framing.Spin.encode_request req) with
+  | Ok [ payload ] -> (
+      (match Framing.Spin.decode_request payload with
+      | Ok req' ->
+          Alcotest.(check int) "id" req.Framing.Spin.id req'.Framing.Spin.id;
+          Alcotest.(check (float 1e-12)) "spin" req.Framing.Spin.spin_us
+            req'.Framing.Spin.spin_us
+      | Error e -> Alcotest.fail e);
+      match Framing.Reassembler.feed r (Framing.Spin.encode_response req) with
+      | Ok [ resp ] -> (
+          match Framing.Spin.decode_response resp with
+          | Ok id -> Alcotest.(check int) "response id" req.Framing.Spin.id id
+          | Error e -> Alcotest.fail e)
+      | _ -> Alcotest.fail "response framing")
+  | _ -> Alcotest.fail "request framing"
+
+let test_spin_rejects_garbage () =
+  (match Framing.Spin.decode_request "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short request accepted");
+  let b = Bytes.make 16 '\x00' in
+  Bytes.set_int64_be b 8 (Int64.bits_of_float (-5.)) (* negative spin *);
+  match Framing.Spin.decode_request (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative spin accepted"
+
+let () =
+  Alcotest.run "framing"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "encode shape" `Quick test_encode_shape;
+          Alcotest.test_case "segment boundaries" `Quick test_segment_boundaries;
+          Alcotest.test_case "packets per message" `Quick test_packets_per_message;
+          Alcotest.test_case "reassemble basic" `Quick test_reassembler_basic;
+          Alcotest.test_case "reassemble fragmented" `Quick test_reassembler_fragmented;
+          Alcotest.test_case "corrupt prefix" `Quick test_reassembler_corrupt;
+          QCheck_alcotest.to_alcotest prop_roundtrip_any_packetization;
+          QCheck_alcotest.to_alcotest prop_segment_concat_identity;
+        ] );
+      ( "spin-protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spin_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_spin_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for lib/net: Toeplitz RSS, rings, requests, load generator. *)
+
+module Rss = Net.Rss
+module Ring = Net.Ring
+module Request = Net.Request
+module Loadgen = Net.Loadgen
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+
+(* ---- RSS / Toeplitz ---- *)
+
+(* Published verification vectors for the Microsoft RSS default key
+   (IPv4 with ports): input bytes are src_ip | dst_ip | src_port |
+   dst_port. *)
+let test_toeplitz_vectors () =
+  let cases =
+    [
+      (* src 66.9.149.187:2794 -> dst 161.142.100.80:1766, hash 0x51ccc178 *)
+      ((66, 9, 149, 187), 2794, (161, 142, 100, 80), 1766, 0x51ccc178l);
+      (* src 199.92.111.2:14230 -> dst 65.69.140.83:4739, hash 0xc626b0ea *)
+      ((199, 92, 111, 2), 14230, (65, 69, 140, 83), 4739, 0xc626b0eal);
+    ]
+  in
+  let ip (a, b, c, d) = Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d) in
+  let key =
+    "\x6d\x5a\x56\xda\x25\x5b\x0e\xc2\x41\x67\x25\x3d\x43\xa3\x8f\xb0\xd0\xca\x2b\xcb\xae\x7b\x30\xb4\x77\xcb\x2d\xa3\x80\x30\xf2\x0c\x6a\x42\xb7\x3b\xbe\xac\x01\xfa"
+  in
+  List.iter
+    (fun (src, sport, dst, dport, expected) ->
+      let b = Bytes.create 12 in
+      let put32 off v =
+        for i = 0 to 3 do
+          Bytes.set b (off + i)
+            (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * (3 - i))) land 0xff))
+        done
+      in
+      put32 0 (ip src);
+      put32 4 (ip dst);
+      Bytes.set b 8 (Char.chr (sport lsr 8));
+      Bytes.set b 9 (Char.chr (sport land 0xff));
+      Bytes.set b 10 (Char.chr (dport lsr 8));
+      Bytes.set b 11 (Char.chr (dport land 0xff));
+      Alcotest.(check int32) "toeplitz vector" expected (Rss.toeplitz ~key b))
+    cases
+
+let test_rss_range_and_determinism () =
+  let rss = Rss.create ~queues:16 () in
+  for c = 0 to 999 do
+    let q = Rss.queue_of_conn rss c in
+    if q < 0 || q >= 16 then Alcotest.failf "queue out of range: %d" q;
+    Alcotest.(check int) "deterministic" q (Rss.queue_of_conn rss c)
+  done
+
+let test_rss_histogram () =
+  let rss = Rss.create ~queues:16 () in
+  let hist = Rss.histogram_of_conns rss 2752 in
+  Alcotest.(check int) "sums to conns" 2752 (Array.fold_left ( + ) 0 hist);
+  (* Flow-consistent hashing spreads connections over every queue, if not
+     perfectly evenly. *)
+  Array.iteri (fun q n -> if n = 0 then Alcotest.failf "queue %d got no connections" q) hist
+
+let test_rss_bad_args () =
+  Alcotest.check_raises "queues < 1" (Invalid_argument "Rss.create: queues < 1") (fun () ->
+      ignore (Rss.create ~queues:0 () : Rss.t));
+  Alcotest.check_raises "short key" (Invalid_argument "Rss.create: key too short") (fun () ->
+      ignore (Rss.create ~key:"short" ~queues:4 () : Rss.t))
+
+(* ---- Ring ---- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (fun i -> Alcotest.(check bool) "push ok" true (Ring.push r i)) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "peek" (Some 1) (Ring.peek r);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Ring.pop r);
+  Alcotest.(check (option int)) "empty" None (Ring.pop r)
+
+let test_ring_overflow_drops () =
+  let r = Ring.create ~capacity:2 in
+  Alcotest.(check bool) "1 fits" true (Ring.push r 1);
+  Alcotest.(check bool) "2 fits" true (Ring.push r 2);
+  Alcotest.(check bool) "3 dropped" false (Ring.push r 3);
+  Alcotest.(check int) "drop counted" 1 (Ring.drops r);
+  Alcotest.(check int) "length" 2 (Ring.length r);
+  ignore (Ring.pop r : int option);
+  Alcotest.(check bool) "fits again" true (Ring.push r 4)
+
+let prop_ring_model =
+  (* Random push/pop sequence vs a plain-queue model with explicit
+     capacity filtering. *)
+  QCheck.Test.make ~name:"ring behaves like bounded FIFO" ~count:300
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let r = Ring.create ~capacity:8 in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              let accepted = Ring.push r x in
+              let model_accepts = Queue.length model < 8 in
+              if model_accepts then Queue.add x model;
+              accepted = model_accepts
+          | None -> Ring.pop r = Queue.take_opt model)
+        ops)
+
+(* ---- Request ---- *)
+
+let test_request_lifecycle () =
+  let r = Request.make ~id:1 ~conn:2 ~arrival:10. ~service:5. ~measured:true in
+  Alcotest.(check bool) "not completed" false (Request.is_completed r);
+  Alcotest.check_raises "latency before completion"
+    (Invalid_argument "Request.latency: not completed") (fun () ->
+      ignore (Request.latency r : float));
+  r.Request.completion <- 25.;
+  Alcotest.(check (float 1e-9)) "latency" 15. (Request.latency r)
+
+(* ---- Loadgen ---- *)
+
+let run_loadgen ~rate ~conns ~echo_delay =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:9 in
+  let gen = Loadgen.create sim ~rng ~conns ~rate ~service:(Engine.Dist.deterministic 1.) () in
+  Loadgen.set_target gen (fun req ->
+      ignore
+        (Sim.schedule_after sim ~delay:echo_delay (fun () -> Loadgen.complete gen req)
+          : Sim.handle));
+  Loadgen.start gen ~warmup:100. ~measure:1000.;
+  Sim.run sim;
+  gen
+
+let test_loadgen_rate_and_measurement () =
+  let gen = run_loadgen ~rate:1.0 ~conns:64 ~echo_delay:2. in
+  let n = Loadgen.measured_generated gen in
+  (* ~1000 arrivals expected in the 1000µs window. *)
+  if n < 850 || n > 1150 then Alcotest.failf "measured arrivals unexpected: %d" n;
+  (* A request arriving just before the window closes completes after it
+     and is excluded from the in-window throughput count. *)
+  let completed = Loadgen.measured_completed gen in
+  if completed > n || completed < n - 5 then
+    Alcotest.failf "in-window completions %d vs %d arrivals" completed n;
+  Alcotest.(check int) "no order violations" 0 (Loadgen.order_violations gen);
+  let tally = Loadgen.tally gen in
+  Alcotest.(check int) "every measured latency recorded" n (Stats.Tally.count tally);
+  Alcotest.(check (float 1e-6)) "latency = echo delay" 2. (Stats.Tally.p99 tally);
+  Alcotest.(check (float 0.15)) "throughput ~= rate" 1.0 (Loadgen.throughput gen)
+
+let test_loadgen_order_violation_detected () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:10 in
+  let gen =
+    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+  in
+  let pending = ref [] in
+  Loadgen.set_target gen (fun req -> pending := req :: !pending);
+  Loadgen.start gen ~warmup:0. ~measure:5.;
+  Sim.run sim;
+  (* Complete in LIFO order: completions on a single connection then come
+     back out of order. *)
+  let n = List.length !pending in
+  if n < 2 then Alcotest.fail "need at least 2 requests for this test";
+  List.iter (fun req -> Loadgen.complete gen req) !pending;
+  Alcotest.(check bool) "violations detected" true (Loadgen.order_violations gen > 0)
+
+let test_loadgen_double_complete_raises () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  let gen =
+    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+  in
+  let seen = ref None in
+  Loadgen.set_target gen (fun req -> if !seen = None then seen := Some req);
+  Loadgen.start gen ~warmup:0. ~measure:3.;
+  Sim.run sim;
+  match !seen with
+  | None -> Alcotest.fail "no request generated"
+  | Some req ->
+      Loadgen.complete gen req;
+      Alcotest.check_raises "double complete"
+        (Invalid_argument "Loadgen.complete: already completed") (fun () ->
+          Loadgen.complete gen req)
+
+let test_loadgen_requires_target () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:12 in
+  let gen =
+    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+  in
+  Alcotest.check_raises "no target" (Invalid_argument "Loadgen.start: no target set") (fun () ->
+      Loadgen.start gen ~warmup:0. ~measure:1.)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "rss",
+        [
+          Alcotest.test_case "toeplitz vectors" `Quick test_toeplitz_vectors;
+          Alcotest.test_case "range+determinism" `Quick test_rss_range_and_determinism;
+          Alcotest.test_case "histogram" `Quick test_rss_histogram;
+          Alcotest.test_case "bad args" `Quick test_rss_bad_args;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "overflow drops" `Quick test_ring_overflow_drops;
+          QCheck_alcotest.to_alcotest prop_ring_model;
+        ] );
+      ("request", [ Alcotest.test_case "lifecycle" `Quick test_request_lifecycle ]);
+      ( "loadgen",
+        [
+          Alcotest.test_case "rate and measurement" `Quick test_loadgen_rate_and_measurement;
+          Alcotest.test_case "order violations" `Quick test_loadgen_order_violation_detected;
+          Alcotest.test_case "double complete" `Quick test_loadgen_double_complete_raises;
+          Alcotest.test_case "requires target" `Quick test_loadgen_requires_target;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Tests for lib/stats: exact tally, log-bucketed histogram, CCDF. *)
+
+module Tally = Stats.Tally
+module Histogram = Stats.Histogram
+module Ccdf = Stats.Ccdf
+
+(* Reference nearest-rank percentile over a plain list. *)
+let reference_percentile xs p =
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let tally_of xs =
+  let t = Tally.create () in
+  List.iter (Tally.record t) xs;
+  t
+
+let prop_percentile_matches_reference =
+  QCheck.Test.make ~name:"tally percentile = nearest-rank reference" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_range 0. 1e6)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      let t = tally_of xs in
+      Tally.percentile t p = reference_percentile xs p)
+
+let test_tally_basics () =
+  let t = tally_of [ 5.; 1.; 3.; 2.; 4. ] in
+  Alcotest.(check int) "count" 5 (Tally.count t);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Tally.mean t);
+  Alcotest.(check (float 1e-9)) "max" 5. (Tally.max_value t);
+  Alcotest.(check (float 1e-9)) "min" 1. (Tally.min_value t);
+  Alcotest.(check (float 1e-9)) "p50" 3. (Tally.p50 t);
+  Alcotest.(check (float 1e-9)) "p99" 5. (Tally.p99 t)
+
+let test_tally_empty () =
+  let t = Tally.create () in
+  Alcotest.(check bool) "empty" true (Tally.is_empty t);
+  Alcotest.(check (float 0.)) "mean of empty" 0. (Tally.mean t);
+  Alcotest.check_raises "percentile of empty" (Invalid_argument "Tally.percentile: empty tally")
+    (fun () -> ignore (Tally.p99 t : float))
+
+let test_tally_record_after_query () =
+  (* Percentile queries sort internally; recording afterwards must still
+     work correctly. *)
+  let t = tally_of [ 3.; 1.; 2. ] in
+  Alcotest.(check (float 1e-9)) "p50 before" 2. (Tally.p50 t);
+  Tally.record t 0.5;
+  Alcotest.(check int) "count grew" 4 (Tally.count t);
+  Alcotest.(check (float 1e-9)) "p50 after" 1. (Tally.p50 t);
+  Alcotest.(check (float 1e-9)) "max unchanged" 3. (Tally.max_value t)
+
+let test_tally_merge_and_clear () =
+  let a = tally_of [ 1.; 2. ] and b = tally_of [ 3. ] in
+  let m = Tally.merge a b in
+  Alcotest.(check int) "merged count" 3 (Tally.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2. (Tally.mean m);
+  Tally.clear a;
+  Alcotest.(check int) "cleared" 0 (Tally.count a)
+
+let test_tally_stddev () =
+  let t = tally_of [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check (float 1e-6)) "sample stddev" 2.13808993 (Tally.stddev t)
+
+let prop_histogram_close_to_exact =
+  QCheck.Test.make ~name:"histogram percentile within quantization error" ~count:100
+    QCheck.(list_of_size Gen.(10 -- 300) (float_range 0.1 1e5))
+    (fun xs ->
+      let t = tally_of xs in
+      let h = Histogram.create ~significant_digits:3 () in
+      List.iter (Histogram.record h) xs;
+      List.for_all
+        (fun p ->
+          let exact = Tally.percentile t p in
+          let approx = Histogram.percentile h p in
+          abs_float (approx -. exact) <= (0.01 *. exact) +. 1e-3)
+        [ 50.; 90.; 99. ])
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 10.; 20.; 30. ];
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.(check (float 0.3)) "mean near 20" 20. (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max exact" 30. (Histogram.max_value h);
+  Alcotest.check_raises "negative raises" (Invalid_argument "Histogram.record: negative value")
+    (fun () -> Histogram.record h (-1.))
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 1.; 2. ];
+  List.iter (Histogram.record b) [ 100.; 200. ];
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 4 (Histogram.count a);
+  Alcotest.(check (float 1e-9)) "merged max" 200. (Histogram.max_value a)
+
+let test_histogram_precision_mismatch () =
+  let a = Histogram.create ~significant_digits:2 () in
+  let b = Histogram.create ~significant_digits:3 () in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Histogram.merge_into: precision mismatch")
+    (fun () -> Histogram.merge_into ~dst:a b)
+
+let test_histogram_clear () =
+  let h = Histogram.create () in
+  Histogram.record h 5.;
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h)
+
+let test_ccdf_monotone () =
+  let samples = Array.init 500 (fun i -> float_of_int (i * i mod 997)) in
+  let points = Ccdf.of_samples samples in
+  let rec check = function
+    | { Ccdf.value = v1; prob = p1 } :: ({ Ccdf.value = v2; prob = p2 } :: _ as rest) ->
+        Alcotest.(check bool) "values ascend" true (v1 <= v2);
+        Alcotest.(check bool) "probs descend" true (p1 >= p2);
+        check rest
+    | _ -> ()
+  in
+  check points;
+  (match List.rev points with
+  | last :: _ -> Alcotest.(check (float 1e-9)) "tail reaches 0" 0. last.Ccdf.prob
+  | [] -> Alcotest.fail "no points")
+
+let test_ccdf_survival () =
+  let samples = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "survival mid" 0.5 (Ccdf.survival_at samples 2.);
+  Alcotest.(check (float 1e-9)) "survival top" 0. (Ccdf.survival_at samples 4.);
+  Alcotest.(check (float 1e-9)) "survival below" 1. (Ccdf.survival_at samples 0.);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Ccdf.survival_at [||] 1.)
+
+let test_ccdf_empty () = Alcotest.(check int) "no points" 0 (List.length (Ccdf.of_samples [||]))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "tally",
+        [
+          QCheck_alcotest.to_alcotest prop_percentile_matches_reference;
+          Alcotest.test_case "basics" `Quick test_tally_basics;
+          Alcotest.test_case "empty" `Quick test_tally_empty;
+          Alcotest.test_case "record after query" `Quick test_tally_record_after_query;
+          Alcotest.test_case "merge/clear" `Quick test_tally_merge_and_clear;
+          Alcotest.test_case "stddev" `Quick test_tally_stddev;
+        ] );
+      ( "histogram",
+        [
+          QCheck_alcotest.to_alcotest prop_histogram_close_to_exact;
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "precision mismatch" `Quick test_histogram_precision_mismatch;
+          Alcotest.test_case "clear" `Quick test_histogram_clear;
+        ] );
+      ( "ccdf",
+        [
+          Alcotest.test_case "monotone" `Quick test_ccdf_monotone;
+          Alcotest.test_case "survival" `Quick test_ccdf_survival;
+          Alcotest.test_case "empty" `Quick test_ccdf_empty;
+        ] );
+    ]
