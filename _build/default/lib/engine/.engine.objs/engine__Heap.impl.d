@@ -1,1 +1,1 @@
-lib/engine/heap.ml: Array Obj
+lib/engine/heap.ml: Array

@@ -1,1 +1,1 @@
-lib/engine/sim.ml: Heap Printf
+lib/engine/sim.ml: Array Heap Printf

@@ -1,73 +1,135 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap.
+
+   Keys live in a flat [float array] (unboxed storage) and payloads in a
+   parallel ['a array], so pushing an element writes three array slots
+   instead of boxing a record, and the peek/drop API below pops without
+   allocating an option or tuple. The [dummy] element fills unused value
+   slots so the heap never retains (or exposes) stale payloads.
+
+   The sift loops move a hole instead of swapping, and use unsafe array
+   accesses: every index is bounded by [t.size], which the public
+   operations keep within the capacity of all three arrays. *)
 
 type 'a t = {
-  mutable entries : 'a entry array;  (* slots [0, size) are live *)
+  mutable times : float array;  (* slots [0, size) are live *)
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a;
 }
 
-let create () = { entries = [||]; size = 0; next_seq = 0 }
+let create ?(capacity = 64) ~dummy () =
+  let capacity = max capacity 1 in
+  {
+    times = Array.make capacity 0.;
+    seqs = Array.make capacity 0;
+    values = Array.make capacity dummy;
+    size = 0;
+    next_seq = 0;
+    dummy;
+  }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let cap = Array.length t.entries in
-  let new_cap = if cap = 0 then 64 else cap * 2 in
-  (* Safe dummy: duplicate an existing entry if any, it is overwritten. *)
-  let dummy = if t.size > 0 then t.entries.(0) else { time = 0.; seq = 0; value = Obj.magic 0 } in
-  let bigger = Array.make new_cap dummy in
-  Array.blit t.entries 0 bigger 0 t.size;
-  t.entries <- bigger
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes t.entries.(i) t.entries.(parent) then begin
-      let tmp = t.entries.(i) in
-      t.entries.(i) <- t.entries.(parent);
-      t.entries.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < t.size && precedes t.entries.(left) t.entries.(!smallest) then smallest := left;
-  if right < t.size && precedes t.entries.(right) t.entries.(!smallest) then smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.entries.(i) in
-    t.entries.(i) <- t.entries.(!smallest);
-    t.entries.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+  let new_cap = 2 * Array.length t.times in
+  let times = Array.make new_cap 0. in
+  let seqs = Array.make new_cap 0 in
+  let values = Array.make new_cap t.dummy in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.values <- values
 
 let add t ~time value =
-  if t.size = Array.length t.entries then grow t;
+  if t.size = Array.length t.times then grow t;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  t.entries.(t.size) <- { time; seq; value };
+  let times = t.times and seqs = t.seqs and values = t.values in
+  (* Sift up moving a hole: the new element has the largest seq so far, so
+     on a time tie the parent stays above it and a strict [<] suffices. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pt = Array.unsafe_get times parent in
+    if time < pt then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set values !i (Array.unsafe_get values parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
+
+let min_time t = if t.size = 0 then infinity else Array.unsafe_get t.times 0
+
+let min_elt t = if t.size = 0 then t.dummy else Array.unsafe_get t.values 0
+
+let drop_min t =
+  if t.size > 0 then begin
+    let n = t.size - 1 in
+    t.size <- n;
+    if n = 0 then t.values.(0) <- t.dummy
+    else begin
+      let times = t.times and seqs = t.seqs and values = t.values in
+      (* Move the last element into the root's hole, sifting it down. *)
+      let time = Array.unsafe_get times n and seq = Array.unsafe_get seqs n in
+      let value = Array.unsafe_get values n in
+      Array.unsafe_set values n t.dummy;
+      let i = ref 0 in
+      let moving = ref true in
+      while !moving do
+        let left = (2 * !i) + 1 in
+        if left >= n then moving := false
+        else begin
+          let right = left + 1 in
+          let child =
+            if
+              right < n
+              && (let rt = Array.unsafe_get times right
+                  and lt = Array.unsafe_get times left in
+                  rt < lt
+                  || (rt = lt && Array.unsafe_get seqs right < Array.unsafe_get seqs left))
+            then right
+            else left
+          in
+          let ct = Array.unsafe_get times child in
+          if ct < time || (ct = time && Array.unsafe_get seqs child < seq) then begin
+            Array.unsafe_set times !i ct;
+            Array.unsafe_set seqs !i (Array.unsafe_get seqs child);
+            Array.unsafe_set values !i (Array.unsafe_get values child);
+            i := child
+          end
+          else moving := false
+        end
+      done;
+      Array.unsafe_set times !i time;
+      Array.unsafe_set seqs !i seq;
+      Array.unsafe_set values !i value
+    end
+  end
 
 let pop_min t =
   if t.size = 0 then None
   else begin
-    let top = t.entries.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.entries.(0) <- t.entries.(t.size);
-      sift_down t 0
-    end;
-    Some (top.time, top.value)
+    let time = t.times.(0) and value = t.values.(0) in
+    drop_min t;
+    Some (time, value)
   end
 
-let peek_min_time t = if t.size = 0 then None else Some t.entries.(0).time
+let peek_min_time t = if t.size = 0 then None else Some t.times.(0)
 
 let clear t =
+  Array.fill t.values 0 t.size t.dummy;
   t.size <- 0;
   t.next_seq <- 0

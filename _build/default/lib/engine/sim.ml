@@ -1,49 +1,148 @@
-type event = { mutable cancelled : bool; action : unit -> unit }
+(* Event records are pooled: a scheduled event is a slot in a set of
+   parallel arrays (action + generation), and the handle returned to the
+   caller is an immediate int packing (generation, slot). Firing or
+   cancelling a slot bumps its generation and pushes it on a free-list
+   stack, so steady-state scheduling recycles slots instead of allocating,
+   and a stale handle (fired or cancelled event, possibly with the slot
+   since reused) can never touch the wrong event: its packed generation no
+   longer matches the slot's. *)
 
-type handle = event
+type handle = int
 
-type t = { mutable clock : float; queue : event Heap.t }
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
 
-let create () = { clock = 0.; queue = Heap.create () }
+type stats = {
+  scheduled : int;
+  fired : int;
+  cancelled : int;
+  reused : int;
+  pool_slots : int;
+}
+
+let noop () = ()
+
+type t = {
+  mutable clock : float;
+  queue : handle Heap.t;
+  mutable actions : (unit -> unit) array;
+  mutable gens : int array;
+  mutable free : int array;  (* stack of recyclable slots *)
+  mutable free_top : int;
+  mutable fresh : int;  (* slots handed out so far *)
+  mutable n_scheduled : int;
+  mutable n_fired : int;
+  mutable n_cancelled : int;
+  mutable n_reused : int;
+}
+
+let create () =
+  {
+    clock = 0.;
+    queue = Heap.create ~dummy:0 ();
+    actions = Array.make 64 noop;
+    gens = Array.make 64 0;
+    free = Array.make 64 0;
+    free_top = 0;
+    fresh = 0;
+    n_scheduled = 0;
+    n_fired = 0;
+    n_cancelled = 0;
+    n_reused = 0;
+  }
 
 let now t = t.clock
+
+let grow_pool t =
+  let cap = Array.length t.actions in
+  if cap >= slot_mask + 1 then
+    failwith "Sim: event pool exceeded 2^24 concurrent events";
+  let new_cap = min (2 * cap) (slot_mask + 1) in
+  let actions = Array.make new_cap noop in
+  let gens = Array.make new_cap 0 in
+  let free = Array.make new_cap 0 in
+  Array.blit t.actions 0 actions 0 cap;
+  Array.blit t.gens 0 gens 0 cap;
+  Array.blit t.free 0 free 0 t.free_top;
+  t.actions <- actions;
+  t.gens <- gens;
+  t.free <- free
+
+let release_slot t slot =
+  t.gens.(slot) <- t.gens.(slot) + 1;
+  t.actions.(slot) <- noop;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
 
 let schedule t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: at %g is in the past (now %g)" at t.clock);
-  let ev = { cancelled = false; action } in
-  Heap.add t.queue ~time:at ev;
-  ev
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.n_reused <- t.n_reused + 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.fresh = Array.length t.actions then grow_pool t;
+      let s = t.fresh in
+      t.fresh <- s + 1;
+      s
+    end
+  in
+  t.actions.(slot) <- action;
+  t.n_scheduled <- t.n_scheduled + 1;
+  let h = (t.gens.(slot) lsl slot_bits) lor slot in
+  Heap.add t.queue ~time:at h;
+  h
 
 let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) action
 
-let cancel ev = ev.cancelled <- true
+let cancel t h =
+  let slot = h land slot_mask in
+  let gen = h lsr slot_bits in
+  if slot < t.fresh && t.gens.(slot) = gen then begin
+    release_slot t slot;
+    t.n_cancelled <- t.n_cancelled + 1
+  end
 
 let pending t = Heap.length t.queue
 
 let rec step t =
-  match Heap.pop_min t.queue with
-  | None -> false
-  | Some (time, ev) ->
-      if ev.cancelled then step t
-      else begin
-        t.clock <- time;
-        ev.action ();
-        true
-      end
+  if Heap.is_empty t.queue then false
+  else begin
+    let time = Heap.min_time t.queue in
+    let h = Heap.min_elt t.queue in
+    Heap.drop_min t.queue;
+    let slot = h land slot_mask in
+    let gen = h lsr slot_bits in
+    if t.gens.(slot) <> gen then step t (* cancelled; slot already recycled *)
+    else begin
+      let action = t.actions.(slot) in
+      release_slot t slot;
+      t.n_fired <- t.n_fired + 1;
+      t.clock <- time;
+      action ();
+      true
+    end
+  end
 
 let run t = while step t do () done
 
 let run_until t horizon =
-  let rec loop () =
-    match Heap.peek_min_time t.queue with
-    | Some time when time <= horizon ->
-        ignore (step t : bool);
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  while (not (Heap.is_empty t.queue)) && Heap.min_time t.queue <= horizon do
+    ignore (step t : bool)
+  done;
   if horizon > t.clock then t.clock <- horizon
+
+let stats t =
+  {
+    scheduled = t.n_scheduled;
+    fired = t.n_fired;
+    cancelled = t.n_cancelled;
+    reused = t.n_reused;
+    pool_slots = t.fresh;
+  }

@@ -5,13 +5,33 @@
     for the same instant fire in scheduling order, so runs are fully
     deterministic given deterministic callbacks and {!Rng} seeds.
 
+    The hot path is allocation-free in steady state: event records live in
+    a pool of recycled slots, handles are immediate integers carrying a
+    per-slot generation, and the underlying {!Heap} stores its keys in a
+    flat float array. The only per-event allocation left is the callback
+    closure the caller passes in.
+
     Events can be cancelled through the handle returned by {!schedule};
-    cancellation is O(1) (the entry stays in the heap but is skipped). *)
+    cancellation is O(1) (the heap entry stays queued but is skipped, and
+    the slot is recycled immediately). *)
 
 type t
 
 type handle
-(** A scheduled event, usable for cancellation. *)
+(** A scheduled event, usable for cancellation. Handles are immediate
+    values (no allocation) and generation-checked: a handle whose event has
+    fired or been cancelled is inert even after its pool slot is reused. *)
+
+type stats = {
+  scheduled : int;  (** events ever scheduled *)
+  fired : int;  (** events whose callback ran *)
+  cancelled : int;  (** live events cancelled (stale cancels excluded) *)
+  reused : int;  (** schedules served from the free list (pool hits) *)
+  pool_slots : int;  (** distinct pool slots ever handed out *)
+}
+(** Event-pool counters. In steady state [reused] tracks [scheduled] and
+    [pool_slots] stays at the high-water mark of concurrently pending
+    events — the signature of an allocation-free hot path. *)
 
 val create : unit -> t
 (** Fresh simulation with clock at 0. *)
@@ -27,7 +47,7 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f].
     [delay] must be non-negative. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
 (** Prevent a pending event from firing. Cancelling a fired or already
     cancelled event is a no-op. *)
 
@@ -45,3 +65,6 @@ val run : t -> unit
 val run_until : t -> float -> unit
 (** [run_until t horizon] executes events with timestamp <= [horizon], then
     advances the clock to [horizon]. Events beyond stay queued. *)
+
+val stats : t -> stats
+(** Snapshot of the event-pool counters. *)

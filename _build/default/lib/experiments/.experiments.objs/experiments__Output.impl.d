@@ -1,1 +1,1 @@
-lib/experiments/output.ml: List Printf String
+lib/experiments/output.ml: Buffer Char Engine Float List Printf String

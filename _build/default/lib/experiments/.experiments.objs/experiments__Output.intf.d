@@ -1,1 +1,1 @@
-lib/experiments/output.mli:
+lib/experiments/output.mli: Engine

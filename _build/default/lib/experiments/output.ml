@@ -29,6 +29,47 @@ let print_table ~columns ~rows =
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
 
+let print_sim_stats (s : Engine.Sim.stats) =
+  print_subheader "event pool";
+  print_table
+    ~columns:[ "counter"; "value" ]
+    ~rows:
+      [
+        [ "events scheduled"; string_of_int s.Engine.Sim.scheduled ];
+        [ "events fired"; string_of_int s.Engine.Sim.fired ];
+        [ "events cancelled"; string_of_int s.Engine.Sim.cancelled ];
+        [ "pool slot reuses"; string_of_int s.Engine.Sim.reused ];
+        [ "pool slots allocated"; string_of_int s.Engine.Sim.pool_slots ];
+      ]
+
+(* Minimal JSON emission for the benchmark-trajectory file; no external
+   dependency, strings restricted to what Printf can escape. *)
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = Printf.sprintf "\"%s\"" (escape s)
+
+  let num x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+  let obj fields =
+    "{" ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields) ^ "}"
+
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+end
+
 let f1 x = Printf.sprintf "%.1f" x
 
 let f2 x = Printf.sprintf "%.2f" x

@@ -8,6 +8,28 @@ val print_subheader : string -> unit
 val print_table : columns:string list -> rows:string list list -> unit
 (** Aligned columns; every row must have the arity of [columns]. *)
 
+val print_sim_stats : Engine.Sim.stats -> unit
+(** Table of the simulator's event-pool counters
+    (scheduled/fired/cancelled/reused and pool size). *)
+
+(** Minimal JSON emission (no external dependency), used by the benchmark
+    harness's [--json] trajectory file. *)
+module Json : sig
+  val escape : string -> string
+
+  val str : string -> string
+  (** Quoted, escaped JSON string literal. *)
+
+  val num : float -> string
+  (** Decimal literal; NaN/infinity render as [null]. *)
+
+  val obj : (string * string) list -> string
+  (** Object from (key, already-rendered value) pairs. *)
+
+  val arr : string list -> string
+  (** Array of already-rendered values. *)
+end
+
 val f1 : float -> string
 (** Format helpers: fixed decimals. *)
 

@@ -131,9 +131,19 @@ let run_real_point cfg ~load =
   let warmup = 0.2 *. measure in
   Net.Loadgen.start gen ~warmup ~measure;
   Sim.run sim;
+  let pool = Sim.stats sim in
+  let pool_info =
+    [
+      ("sim_events_scheduled", float_of_int pool.Sim.scheduled);
+      ("sim_events_fired", float_of_int pool.Sim.fired);
+      ("sim_events_cancelled", float_of_int pool.Sim.cancelled);
+      ("sim_events_reused", float_of_int pool.Sim.reused);
+      ("sim_pool_slots", float_of_int pool.Sim.pool_slots);
+    ]
+  in
   point_of_tally ~load ~offered_rate:rate ~throughput:(Net.Loadgen.throughput gen)
     ~order_violations:(Net.Loadgen.order_violations gen)
-    ~info:(system.Systems.Iface.info () @ !extra_info ())
+    ~info:(system.Systems.Iface.info () @ !extra_info () @ pool_info)
     (Net.Loadgen.tally gen)
 
 let run_point cfg ~load =

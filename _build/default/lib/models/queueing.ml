@@ -83,7 +83,7 @@ let ps_epsilon = 1e-9
 
 let rec ps_reschedule sim station ~record =
   (match station.next_done with
-  | Some h -> Sim.cancel h
+  | Some h -> Sim.cancel sim h
   | None -> ());
   match station.ps_jobs with
   | [] -> station.next_done <- None

@@ -1,1 +1,1 @@
-lib/stats/histogram.ml: Array Float
+lib/stats/histogram.ml: Array Float Int64

@@ -1,10 +1,16 @@
 (** Log-bucketed latency histogram (HdrHistogram-style).
 
     Constant-memory alternative to {!Tally} for very long runs: values are
-    bucketed with a bounded relative error (sub-bucket resolution within
-    each power-of-two range), so percentile queries are approximate but
-    never off by more than the configured precision. Used where a
-    simulation records tens of millions of samples. *)
+    bucketed with a bounded relative error (a geometric bucket ratio of
+    1 + 10^-digits), so percentile queries are approximate but never off by
+    more than the configured precision. Used where a simulation records
+    tens of millions of samples.
+
+    The record path is log-free: the bucket index is derived from the
+    IEEE-754 exponent and mantissa bits of the value (a 4096-entry table
+    plus a cubic correction), matching the exact floor(ln(v/floor)/ln r)
+    index to within ~1e-12 of a bucket width. See the implementation
+    comment for the error bound derivation. *)
 
 type t
 
@@ -14,12 +20,19 @@ val create : ?significant_digits:int -> unit -> t
 
 val record : t -> float -> unit
 (** Record a non-negative value. Negative values raise
-    [Invalid_argument]. *)
+    [Invalid_argument]. Amortized O(1), allocation-free (the bucket array
+    doubles on first touch of a new maximum bucket). *)
+
+val bucket_of_value : t -> float -> int
+(** Index of the bucket a value falls into: 0 for values at or below the
+    1e-3 floor, otherwise 1 + floor(ln(v / floor) / ln ratio) computed via
+    exponent/mantissa extraction instead of [log]. Exposed for tests and
+    for mapping externally-stored counts onto bucket boundaries. *)
 
 val count : t -> int
 
 val mean : t -> float
-(** Mean of recorded values, subject to bucket quantization. *)
+(** Exact mean of recorded values (the running sum is kept unquantized). *)
 
 val max_value : t -> float
 (** Largest recorded value (exact). *)
@@ -29,7 +42,10 @@ val percentile : t -> float -> float
     outside [0, 100]. *)
 
 val merge_into : dst:t -> t -> unit
-(** Add all of the source's counts into [dst]. The two histograms must have
-    the same precision (raises [Invalid_argument] otherwise). *)
+(** Add all of the source's counts into [dst] with a single O(buckets)
+    array sum; the exact sum and maximum carry over, so the merged mean and
+    max are as if every sample had been recorded into [dst] directly. The
+    two histograms must have the same precision (raises [Invalid_argument]
+    otherwise). *)
 
 val clear : t -> unit

@@ -75,7 +75,7 @@ let start_segment t c ~mode ~cost ~finish =
 let extend_segment t c ~extra =
   match (c.cur_handle, c.cur_finish) with
   | Some h, Some finish ->
-      Sim.cancel h;
+      Sim.cancel t.sim h;
       c.cur_done_at <- c.cur_done_at +. extra;
       c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
   | _ -> assert false

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Engine Experiments Float Format List Printf

@@ -1,1 +1,1 @@
-test/test_stats.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Stats
+test/test_stats.ml: Alcotest Array Engine Float Gen List Printf QCheck QCheck_alcotest Stats

@@ -11,7 +11,7 @@ module Heap = Engine.Heap
 
 let test_heap_interleaved () =
   (* add/pop interleavings with duplicate times keep global order. *)
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~time:5. "a";
   Heap.add h ~time:1. "b";
   Alcotest.(check (option (pair (float 0.) string))) "pop min" (Some (1., "b")) (Heap.pop_min h);
@@ -26,8 +26,8 @@ let test_sim_cancel_after_fire () =
   let h = Sim.schedule sim ~at:1. (fun () -> ()) in
   Sim.run sim;
   (* cancelling a fired event is a harmless no-op *)
-  Sim.cancel h;
-  Sim.cancel h;
+  Sim.cancel sim h;
+  Sim.cancel sim h;
   Alcotest.(check int) "queue empty" 0 (Sim.pending sim)
 
 let test_sim_zero_delay_event () =

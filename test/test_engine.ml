@@ -149,7 +149,7 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"pop yields times in order" ~count:200
     QCheck.(list (float_range 0. 1000.))
     (fun times ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) () in
       List.iteri (fun i t -> Heap.add h ~time:t i) times;
       let rec drain last =
         match Heap.pop_min h with
@@ -158,14 +158,62 @@ let prop_heap_sorted =
       in
       drain neg_infinity)
 
+(* Random add/pop/clear interleavings against a sorted-list reference
+   model: pops must agree with the model exactly — nondecreasing times
+   with FIFO tie-breaking by insertion sequence. Times are drawn from a
+   coarse grid so ties are frequent. *)
+let prop_heap_matches_model =
+  let op_gen =
+    QCheck.Gen.(
+      list
+        (pair (int_bound 7) (map (fun k -> float_of_int k /. 2.) (int_bound 20))))
+  in
+  QCheck.Test.make ~name:"heap agrees with sorted-list model" ~count:300
+    (QCheck.make ~print:(fun ops -> string_of_int (List.length ops)) op_gen)
+    (fun ops ->
+      let h = Heap.create ~dummy:(-1) () in
+      let model = ref [] in
+      (* model entries: (time, seq); popped element = min by (time, seq) *)
+      let next_seq = ref 0 in
+      List.for_all
+        (fun (op, time) ->
+          if op <= 4 then begin
+            Heap.add h ~time !next_seq;
+            model := (time, !next_seq) :: !model;
+            incr next_seq;
+            true
+          end
+          else if op <= 6 then begin
+            match (Heap.pop_min h, !model) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (t, v), entries ->
+                let ((mt, ms) as m) =
+                  List.fold_left
+                    (fun acc e -> if compare e acc < 0 then e else acc)
+                    (List.hd entries) (List.tl entries)
+                in
+                model := List.filter (fun e -> e <> m) entries;
+                t = mt && v = ms
+          end
+          else begin
+            Heap.clear h;
+            model := [];
+            (* clear also resets the FIFO sequence, matching a fresh heap *)
+            next_seq := 0;
+            Heap.is_empty h
+          end)
+        ops
+      && Heap.length h = List.length !model)
+
 let test_heap_fifo_ties () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   List.iter (fun i -> Heap.add h ~time:1.0 i) [ 1; 2; 3; 4; 5 ];
   let order = List.init 5 (fun _ -> match Heap.pop_min h with Some (_, v) -> v | None -> -1) in
   Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4; 5 ] order
 
 let test_heap_length_and_clear () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
   for i = 1 to 100 do
     Heap.add h ~time:(float_of_int (100 - i)) i
@@ -175,6 +223,36 @@ let test_heap_length_and_clear () =
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h);
   Alcotest.(check (option (float 0.))) "peek empty" None (Heap.peek_min_time h)
+
+let test_heap_no_stale_values () =
+  (* An empty heap — including one grown from empty and drained — must
+     never expose a previously stored payload. *)
+  let h = Heap.create ~capacity:1 ~dummy:"dummy" () in
+  Alcotest.(check string) "fresh min_elt is dummy" "dummy" (Heap.min_elt h);
+  for i = 1 to 200 do
+    Heap.add h ~time:(float_of_int i) (string_of_int i)
+  done;
+  for _ = 1 to 200 do
+    Heap.drop_min h
+  done;
+  Alcotest.(check string) "drained min_elt is dummy" "dummy" (Heap.min_elt h);
+  Alcotest.(check bool) "min_time empty = infinity" true (Heap.min_time h = infinity);
+  Heap.add h ~time:3. "live";
+  Heap.clear h;
+  Alcotest.(check string) "cleared min_elt is dummy" "dummy" (Heap.min_elt h)
+
+let test_heap_peek_then_drop () =
+  let h = Heap.create ~dummy:(-1) () in
+  Heap.add h ~time:2. 20;
+  Heap.add h ~time:1. 10;
+  Alcotest.(check bool) "min_time" true (Heap.min_time h = 1.);
+  Alcotest.(check int) "min_elt" 10 (Heap.min_elt h);
+  Heap.drop_min h;
+  Alcotest.(check int) "next min_elt" 20 (Heap.min_elt h);
+  Heap.drop_min h;
+  Heap.drop_min h;
+  (* dropping on empty is a no-op *)
+  Alcotest.(check int) "empty length" 0 (Heap.length h)
 
 (* ---- Sim ---- *)
 
@@ -192,9 +270,53 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule sim ~at:1. (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_sim_pool_recycles () =
+  (* A long chain of schedule-inside-action events must run in O(1) pool
+     slots, recycling the same slot instead of allocating fresh ones. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 1_000 then ignore (Sim.schedule_after sim ~delay:1. tick : Sim.handle)
+  in
+  ignore (Sim.schedule_after sim ~delay:1. tick : Sim.handle);
+  Sim.run sim;
+  let s = Sim.stats sim in
+  Alcotest.(check int) "all fired" 1_000 s.Sim.fired;
+  Alcotest.(check int) "all scheduled" 1_000 s.Sim.scheduled;
+  Alcotest.(check int) "no cancels" 0 s.Sim.cancelled;
+  Alcotest.(check bool) "slots recycled" true (s.Sim.reused >= 998);
+  Alcotest.(check bool) "pool stayed tiny" true (s.Sim.pool_slots <= 2)
+
+let test_sim_stale_handle_is_inert () =
+  (* After an event fires, its pool slot may be reused by a new event; the
+     old handle must not be able to cancel the new occupant. *)
+  let sim = Sim.create () in
+  let first = Sim.schedule sim ~at:1. (fun () -> ()) in
+  Sim.run sim;
+  let fired = ref false in
+  ignore (Sim.schedule sim ~at:2. (fun () -> fired := true) : Sim.handle);
+  Sim.cancel sim first;
+  (* stale: same slot, older generation *)
+  Sim.run sim;
+  Alcotest.(check bool) "new event still fired" true !fired;
+  Alcotest.(check int) "stale cancel not counted" 0 (Sim.stats sim).Sim.cancelled
+
+let test_sim_cancel_frees_slot () =
+  let sim = Sim.create () in
+  let h = Sim.schedule sim ~at:5. (fun () -> ()) in
+  Sim.cancel sim h;
+  ignore (Sim.schedule sim ~at:6. (fun () -> ()) : Sim.handle);
+  Sim.run sim;
+  let s = Sim.stats sim in
+  Alcotest.(check int) "one cancel" 1 s.Sim.cancelled;
+  Alcotest.(check int) "one fired" 1 s.Sim.fired;
+  Alcotest.(check bool) "cancelled slot reused" true (s.Sim.reused >= 1);
+  Alcotest.(check int) "single slot" 1 s.Sim.pool_slots
 
 let test_sim_past_raises () =
   let sim = Sim.create () in
@@ -269,13 +391,19 @@ let () =
       ( "heap",
         [
           QCheck_alcotest.to_alcotest prop_heap_sorted;
+          QCheck_alcotest.to_alcotest prop_heap_matches_model;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "length/clear" `Quick test_heap_length_and_clear;
+          Alcotest.test_case "no stale values" `Quick test_heap_no_stale_values;
+          Alcotest.test_case "peek then drop" `Quick test_heap_peek_then_drop;
         ] );
       ( "sim",
         [
           Alcotest.test_case "ordering" `Quick test_sim_ordering;
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "pool recycles" `Quick test_sim_pool_recycles;
+          Alcotest.test_case "stale handle inert" `Quick test_sim_stale_handle_is_inert;
+          Alcotest.test_case "cancel frees slot" `Quick test_sim_cancel_frees_slot;
           Alcotest.test_case "past raises" `Quick test_sim_past_raises;
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay_raises;
           Alcotest.test_case "nested" `Quick test_sim_nested_scheduling;

@@ -3,6 +3,7 @@
 module Tally = Stats.Tally
 module Histogram = Stats.Histogram
 module Ccdf = Stats.Ccdf
+module Rng = Engine.Rng
 
 (* Reference nearest-rank percentile over a plain list. *)
 let reference_percentile xs p =
@@ -92,6 +93,54 @@ let test_histogram_merge () =
   Alcotest.(check int) "merged count" 4 (Histogram.count a);
   Alcotest.(check (float 1e-9)) "merged max" 200. (Histogram.max_value a)
 
+let test_histogram_merge_exact () =
+  (* Bucket-array merging must be indistinguishable from recording every
+     sample into the destination directly: same counts per bucket, exact
+     sum (mean) and maximum. *)
+  let rng = Engine.Rng.create ~seed:11 in
+  let a = Histogram.create () and b = Histogram.create () in
+  let direct = Histogram.create () in
+  for i = 1 to 5_000 do
+    let v = Rng.exponential rng ~mean:25. in
+    Histogram.record (if i mod 2 = 0 then a else b) v;
+    Histogram.record direct v
+  done;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "count" (Histogram.count direct) (Histogram.count a);
+  Alcotest.(check (float 1e-9)) "exact mean" (Histogram.mean direct) (Histogram.mean a);
+  Alcotest.(check (float 1e-9)) "exact max" (Histogram.max_value direct) (Histogram.max_value a);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g" p)
+        (Histogram.percentile direct p) (Histogram.percentile a p))
+    [ 50.; 90.; 99.; 99.9 ]
+
+(* The log-free bucket index (IEEE-754 exponent/mantissa extraction plus a
+   table) must agree with the straightforward log-based formula across the
+   full value range, for every supported precision. *)
+let test_histogram_fast_bucketing_agrees () =
+  let rng = Engine.Rng.create ~seed:13 in
+  let lo = log 1e-4 and hi = log 1e8 in
+  List.iter
+    (fun digits ->
+      let h = Histogram.create ~significant_digits:digits () in
+      let log_ratio = log (1. +. (10. ** float_of_int (-digits))) in
+      let reference v =
+        if v <= 1e-3 then 0 else 1 + int_of_float (log (v /. 1e-3) /. log_ratio)
+      in
+      for _ = 1 to 250_000 do
+        (* log-uniform across [1e-4, 1e8]: covers sub-floor values, the
+           floor boundary, and ~12 decades of magnitude *)
+        let v = exp (lo +. (Rng.float rng *. (hi -. lo))) in
+        let fast = Histogram.bucket_of_value h v in
+        let slow = reference v in
+        if fast <> slow then
+          Alcotest.failf "digits=%d v=%h: fast bucket %d <> log bucket %d" digits v fast
+            slow
+      done)
+    [ 1; 2; 3; 4 ]
+
 let test_histogram_precision_mismatch () =
   let a = Histogram.create ~significant_digits:2 () in
   let b = Histogram.create ~significant_digits:3 () in
@@ -145,6 +194,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_histogram_close_to_exact;
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge exact" `Quick test_histogram_merge_exact;
+          Alcotest.test_case "fast bucketing = log bucketing" `Slow
+            test_histogram_fast_bucketing_agrees;
           Alcotest.test_case "precision mismatch" `Quick test_histogram_precision_mismatch;
           Alcotest.test_case "clear" `Quick test_histogram_clear;
         ] );
