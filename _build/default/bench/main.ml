@@ -5,7 +5,7 @@
    Usage:
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig7 table1  -- selected targets
-     dune exec bench/main.exe -- --json       -- also write BENCH_PR1.json
+     dune exec bench/main.exe -- --json       -- also write BENCH_PR2.json
      ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
 
 let scale =
@@ -20,7 +20,7 @@ let scale =
    (boxed heap entries, per-record [log]): median of three Bechamel runs
    of the seed implementation under the exact bench bodies below (depth-512
    heap, varying-magnitude histogram samples), 1s quota, same machine.
-   BENCH_PR1.json reports current numbers next to these so the trajectory
+   BENCH_PR2.json reports current numbers next to these so the trajectory
    is visible without checking out the old commit. *)
 let seed_baseline_ns = [ ("engine: heap push+pop", 221.0); ("stats: histogram record", 14.4) ]
 
@@ -202,7 +202,7 @@ let micro ~scale =
       (List.sort compare
          (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows))
 
-(* ---- BENCH_PR1.json: the perf trajectory future PRs regress against ---- *)
+(* ---- BENCH_PR2.json: the perf trajectory future PRs regress against ---- *)
 
 let write_trajectory ~path ~scale ~micro ~wall_clock =
   let open Experiments.Output.Json in
@@ -272,5 +272,5 @@ let () =
       Printf.printf "\n[%s done in %.1fs]\n%!" name dt)
     selected;
   if json_mode then
-    write_trajectory ~path:"BENCH_PR1.json" ~scale ~micro:!last_micro_rows
+    write_trajectory ~path:"BENCH_PR2.json" ~scale ~micro:!last_micro_rows
       ~wall_clock:(List.rev !wall_clock)

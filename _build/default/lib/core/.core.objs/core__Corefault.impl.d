@@ -1,0 +1,1 @@
+lib/core/corefault.ml: Array Float List Printf

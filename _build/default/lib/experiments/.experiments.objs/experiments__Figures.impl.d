@@ -1,1 +1,1 @@
-lib/experiments/figures.ml: Array Engine Hashtbl Kvstore List Models Net Option Output Printf Run Silo Stats Systems Unix
+lib/experiments/figures.ml: Array Core Engine Float Hashtbl Kvstore List Models Net Option Output Printf Run Silo Stats Systems Unix

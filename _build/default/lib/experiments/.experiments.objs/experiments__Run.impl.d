@@ -1,1 +1,1 @@
-lib/experiments/run.ml: Engine List Models Net Printf Stats Systems
+lib/experiments/run.ml: Core Engine List Models Net Option Printf Stats Systems

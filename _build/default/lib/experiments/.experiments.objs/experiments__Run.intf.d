@@ -1,1 +1,1 @@
-lib/experiments/run.mli: Engine Net
+lib/experiments/run.mli: Core Engine Net Systems

@@ -116,6 +116,7 @@ let run_point t ~system ~load ?(cores = 16) ?(conns = 2752) ?(requests = 15_000)
     Run.load;
     offered_rate = rate;
     throughput = Net.Loadgen.throughput gen;
+    goodput = Net.Loadgen.goodput gen;
     mean = Stats.Tally.mean tally;
     p50 = (if empty then 0. else Stats.Tally.p50 tally);
     p99 = (if empty then 0. else Stats.Tally.p99 tally);

@@ -617,6 +617,114 @@ let ext_consolidate ~scale =
     ~columns:[ "load"; "p99 static(us)"; "p99 consolidated(us)"; "avg active cores" ]
     ~rows
 
+(* Chaos: the robustness experiment — degradation curves under injected
+   network faults, a straggler core, and retry storms past saturation,
+   for the three main systems. Goodput (distinct requests completed
+   within the SLO) is the headline metric; raw p99 rides along. *)
+let chaos ~scale =
+  Output.print_header
+    "Chaos: degradation under faults & overload (exp, S = 10us, SLO = 100us)";
+  let service = Dist.exponential 10. in
+  let slo = 100. in
+  let systems = [ Run.Linux_floating; Run.Ix 1; Run.Zygos ] in
+  let req = requests ~scale 20_000 in
+  (* (a) lossy network x offered load, client retries recovering losses *)
+  Output.print_subheader "lossy network x offered load (client retries on)";
+  let retry = Net.Loadgen.retry ~timeout:300. () in
+  let rows =
+    List.concat_map
+      (fun system ->
+        List.concat_map
+          (fun fr ->
+            let faults =
+              if fr = 0. then None
+              else Some (Net.Faults.plan ~drop:fr ~duplicate:(fr /. 2.) ~reorder:fr ())
+            in
+            List.map
+              (fun load ->
+                let cfg =
+                  Run.config ~system ~service ~cores ~requests:req ~retry ~slo ?faults ()
+                in
+                let p = Run.run_point cfg ~load in
+                let get key = Option.value ~default:0. (List.assoc_opt key p.Run.info) in
+                [
+                  Run.system_name system;
+                  Output.f3 fr;
+                  Output.f2 load;
+                  Output.f3 p.Run.goodput;
+                  Output.f1 p.Run.p99;
+                  string_of_int (int_of_float (get "fault_drops"));
+                  string_of_int (int_of_float (get "client_retries"));
+                ])
+              [ 0.3; 0.6; 0.8 ])
+          [ 0.; 0.01; 0.05 ])
+      systems
+  in
+  Output.print_table
+    ~columns:
+      [ "system"; "fault rate"; "load"; "goodput(MRPS)"; "p99(us)"; "drops"; "retries" ]
+    ~rows;
+  (* (b) straggler core: ZygOS steals around it, IX cannot *)
+  Output.print_subheader "straggler core (core 0 at 10x for 25% of the run, load 0.7)";
+  let rows =
+    List.map
+      (fun system ->
+        let base_cfg = Run.config ~system ~service ~cores ~requests:req () in
+        let base = Run.run_point base_cfg ~load:0.7 in
+        let rate = 0.7 *. float_of_int cores /. Dist.mean service in
+        let measure = float_of_int req /. rate in
+        let stragglers =
+          [
+            Core.Corefault.
+              { core = 0; start = 0.2 *. measure; duration = 0.25 *. measure; slowdown = 10. };
+          ]
+        in
+        let cfg = Run.config ~system ~service ~cores ~requests:req ~stragglers () in
+        let p = Run.run_point cfg ~load:0.7 in
+        [
+          Run.system_name system;
+          Output.f1 base.Run.p99;
+          Output.f1 p.Run.p99;
+          Output.f2 (p.Run.p99 /. Float.max 1e-9 base.Run.p99);
+        ])
+      systems
+  in
+  Output.print_table
+    ~columns:[ "system"; "p99 clean(us)"; "p99 straggler(us)"; "degradation" ]
+    ~rows;
+  (* (c) retry storm past saturation: load shedding keeps goodput alive *)
+  Output.print_subheader
+    "overload + retries: shedding (queue bound 8/core) vs none, ix";
+  let retry = Net.Loadgen.retry ~timeout:200. ~max_retries:4 () in
+  let rows =
+    List.concat_map
+      (fun (label, shed) ->
+        List.map
+          (fun load ->
+            let cfg =
+              Run.config ~system:(Run.Ix 1) ~service ~cores ~requests:req ~retry ~slo
+                ~shed ()
+            in
+            let p = Run.run_point cfg ~load in
+            let get key = Option.value ~default:0. (List.assoc_opt key p.Run.info) in
+            [
+              label;
+              Output.f2 load;
+              Output.f3 p.Run.goodput;
+              Output.f3 p.Run.throughput;
+              Output.f1 p.Run.p99;
+              string_of_int (int_of_float (get "shed"));
+            ])
+          [ 0.8; 0.95; 1.1; 1.3 ])
+      [
+        ("no-shed", Systems.Overload.No_shed);
+        ("queue-len", Systems.Overload.Queue_length (8 * cores));
+      ]
+  in
+  Output.print_table
+    ~columns:[ "policy"; "load"; "goodput(MRPS)"; "tput(MRPS)"; "p99(us)"; "shed" ]
+    ~rows
+
 let all_targets =
   [
     ("fig2", fig2);
@@ -634,4 +742,5 @@ let all_targets =
     ("ext-preempt", ext_preempt);
     ("ext-rebalance", ext_rebalance);
     ("ext-consolidate", ext_consolidate);
+    ("chaos", chaos);
   ]

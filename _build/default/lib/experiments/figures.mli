@@ -67,5 +67,11 @@ val ext_consolidate : scale:float -> unit
     on the centralized preemptive system, vs a static 16-core
     allocation. *)
 
+val chaos : scale:float -> unit
+(** Robustness: degradation curves under injected network faults (drop /
+    duplicate / reorder), a straggler core, and retry storms past
+    saturation — goodput and p99 for Linux-floating, IX, and ZygOS, with
+    and without server-side load shedding. *)
+
 val all_targets : (string * (scale:float -> unit)) list
 (** Name → generator, in run order (the bench executable's registry). *)

@@ -37,16 +37,41 @@ type config = {
   seed : int;
   rpc_packets : int;
   selection : Net.Loadgen.conn_selection;
+  faults : Net.Faults.plan option;
+  stragglers : Core.Corefault.spec list;
+  retry : Net.Loadgen.retry option;
+  slo : float;
+  shed : Systems.Overload.policy;
 }
 
 let config ?(cores = 16) ?(conns = 2752) ?(requests = 30_000) ?(seed = 42) ?(rpc_packets = 1)
-    ?(selection = Net.Loadgen.Uniform) ~system ~service () =
-  { system; cores; conns; service; requests; seed; rpc_packets; selection }
+    ?(selection = Net.Loadgen.Uniform) ?faults ?(stragglers = []) ?retry ?(slo = infinity)
+    ?(shed = Systems.Overload.No_shed) ~system ~service () =
+  Option.iter Net.Faults.validate_plan faults;
+  List.iter Core.Corefault.validate_spec stragglers;
+  Option.iter Net.Loadgen.validate_retry retry;
+  Systems.Overload.validate_policy shed;
+  {
+    system;
+    cores;
+    conns;
+    service;
+    requests;
+    seed;
+    rpc_packets;
+    selection;
+    faults;
+    stragglers;
+    retry;
+    slo;
+    shed;
+  }
 
 type point = {
   load : float;
   offered_rate : float;
   throughput : float;
+  goodput : float;
   mean : float;
   p50 : float;
   p99 : float;
@@ -56,12 +81,13 @@ type point = {
   info : (string * float) list;
 }
 
-let point_of_tally ~load ~offered_rate ~throughput ~order_violations ~info tally =
+let point_of_tally ~load ~offered_rate ~throughput ~goodput ~order_violations ~info tally =
   let empty = Stats.Tally.is_empty tally in
   {
     load;
     offered_rate;
     throughput;
+    goodput;
     mean = Stats.Tally.mean tally;
     p50 = (if empty then 0. else Stats.Tally.p50 tally);
     p99 = (if empty then 0. else Stats.Tally.p99 tally);
@@ -78,7 +104,8 @@ let run_model_point cfg ~load ~spec =
   in
   let offered_rate = load *. float_of_int cfg.cores /. Dist.mean cfg.service in
   point_of_tally ~load ~offered_rate ~throughput:result.Models.Queueing.throughput
-    ~order_violations:0 ~info:[] result.Models.Queueing.latencies
+    ~goodput:result.Models.Queueing.throughput ~order_violations:0 ~info:[]
+    result.Models.Queueing.latencies
 
 let run_real_point cfg ~load =
   let sim = Sim.create () in
@@ -89,11 +116,28 @@ let run_real_point cfg ~load =
   let rate = load *. float_of_int cfg.cores /. mean in
   let gen =
     Net.Loadgen.create sim ~rng:loadgen_rng ~conns:cfg.conns ~rate ~service:cfg.service
-      ~selection:cfg.selection ()
+      ~selection:cfg.selection ~slo:cfg.slo ?retry:cfg.retry ()
   in
-  let respond req = Net.Loadgen.complete gen req in
+  (* Admission control sits between the (possibly lossy) network and the
+     server; built only when a shedding policy is configured so the
+     default path is untouched. *)
+  let guard =
+    match cfg.shed with
+    | Systems.Overload.No_shed -> None
+    | policy -> Some (Systems.Overload.create sim ~policy ())
+  in
+  let respond =
+    match guard with
+    | None -> fun req -> Net.Loadgen.complete gen req
+    | Some g ->
+        fun req ->
+          Systems.Overload.note_response g req;
+          Net.Loadgen.complete gen req
+  in
   let params =
-    Systems.Params.with_rpc_packets (Systems.Params.default ~cores:cfg.cores ()) cfg.rpc_packets
+    Systems.Params.with_stragglers
+      (Systems.Params.with_rpc_packets (Systems.Params.default ~cores:cfg.cores ()) cfg.rpc_packets)
+      cfg.stragglers
   in
   let extra_info = ref (fun () -> []) in
   let system =
@@ -126,7 +170,28 @@ let run_real_point cfg ~load =
         { iface with Systems.Iface.name = "ix-rebalanced" }
     | Model_central_fcfs | Model_partitioned_fcfs -> assert false
   in
-  Net.Loadgen.set_target gen (fun req -> system.Systems.Iface.submit req);
+  (* Compose the request path client -> network faults -> admission ->
+     server. Each layer is only interposed when configured, so the
+     fault-free path submits directly to the system (bit-identical to the
+     pre-fault runner). *)
+  let admitted =
+    match guard with
+    | None -> fun req -> system.Systems.Iface.submit req
+    | Some g ->
+        fun req ->
+          Systems.Overload.admit g req ~forward:(fun r -> system.Systems.Iface.submit r)
+  in
+  let net_faults =
+    match cfg.faults with
+    | None -> None
+    | Some plan -> Some (Net.Faults.create sim ~rng:(Rng.split rng) ~plan ())
+  in
+  let ingress =
+    match net_faults with
+    | None -> admitted
+    | Some f -> fun req -> Net.Faults.apply f req ~deliver:admitted
+  in
+  Net.Loadgen.set_target gen ingress;
   let measure = float_of_int cfg.requests /. rate in
   let warmup = 0.2 *. measure in
   Net.Loadgen.start gen ~warmup ~measure;
@@ -141,9 +206,22 @@ let run_real_point cfg ~load =
       ("sim_pool_slots", float_of_int pool.Sim.pool_slots);
     ]
   in
+  let client_info =
+    [
+      ("client_retries", float_of_int (Net.Loadgen.retries gen));
+      ("client_timeouts", float_of_int (Net.Loadgen.timeouts gen));
+      ("client_retry_exhausted", float_of_int (Net.Loadgen.retry_exhausted gen));
+      ("duplicate_completions", float_of_int (Net.Loadgen.duplicate_completions gen));
+    ]
+  in
+  let fault_info = match net_faults with None -> [] | Some f -> Net.Faults.info f in
+  let shed_info = match guard with None -> [] | Some g -> Systems.Overload.info g in
   point_of_tally ~load ~offered_rate:rate ~throughput:(Net.Loadgen.throughput gen)
+    ~goodput:(Net.Loadgen.goodput gen)
     ~order_violations:(Net.Loadgen.order_violations gen)
-    ~info:(system.Systems.Iface.info () @ !extra_info () @ pool_info)
+    ~info:
+      (system.Systems.Iface.info () @ !extra_info () @ fault_info @ shed_info @ client_info
+     @ pool_info)
     (Net.Loadgen.tally gen)
 
 let run_point cfg ~load =

@@ -38,6 +38,11 @@ type config = {
   seed : int;
   rpc_packets : int;  (** packets per request each way (default 1) *)
   selection : Net.Loadgen.conn_selection;  (** default [Uniform] *)
+  faults : Net.Faults.plan option;  (** network fault plan (default none) *)
+  stragglers : Core.Corefault.spec list;  (** straggler windows (default none) *)
+  retry : Net.Loadgen.retry option;  (** client retry policy (default none) *)
+  slo : float;  (** goodput SLO in µs (default [infinity]) *)
+  shed : Systems.Overload.policy;  (** admission control (default [No_shed]) *)
 }
 
 val config :
@@ -47,15 +52,28 @@ val config :
   ?seed:int ->
   ?rpc_packets:int ->
   ?selection:Net.Loadgen.conn_selection ->
+  ?faults:Net.Faults.plan ->
+  ?stragglers:Core.Corefault.spec list ->
+  ?retry:Net.Loadgen.retry ->
+  ?slo:float ->
+  ?shed:Systems.Overload.policy ->
   system:system_kind ->
   service:Engine.Dist.t ->
   unit ->
   config
+(** Validates every fault/overload knob eagerly (see the respective
+    [validate_*] functions); raises [Invalid_argument] on bad values. When
+    all the optional chaos knobs are left at their defaults, the resulting
+    runs are bit-identical to a configuration built before this layer
+    existed. *)
 
 type point = {
   load : float;  (** offered load (fraction of zero-overhead capacity) *)
   offered_rate : float;  (** requests/µs offered *)
   throughput : float;  (** requests/µs completed in the measure window *)
+  goodput : float;
+      (** distinct requests completed within [slo] per µs; equals
+          [throughput] when [slo = infinity] and no duplicates occur *)
   mean : float;
   p50 : float;
   p99 : float;

@@ -1,0 +1,1 @@
+lib/net/faults.ml: Bytes Char Engine Float Printf String

@@ -1,1 +1,1 @@
-lib/net/loadgen.ml: Array Engine Queue Request Stats
+lib/net/loadgen.ml: Array Engine Float Hashtbl Option Queue Request Stats

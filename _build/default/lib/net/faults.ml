@@ -1,0 +1,115 @@
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+
+type plan = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  reorder_delay : float;
+  dup_delay : float;
+}
+
+let zero =
+  { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; reorder_delay = 5.; dup_delay = 1. }
+
+let validate_plan p =
+  let rate name x =
+    if Float.is_nan x || x < 0. || x > 1. then
+      invalid_arg (Printf.sprintf "Faults: %s rate %g outside [0, 1]" name x)
+  in
+  rate "drop" p.drop;
+  rate "duplicate" p.duplicate;
+  rate "reorder" p.reorder;
+  rate "corrupt" p.corrupt;
+  if Float.is_nan p.reorder_delay || p.reorder_delay < 0. then
+    invalid_arg "Faults: reorder_delay < 0";
+  if Float.is_nan p.dup_delay || p.dup_delay < 0. then invalid_arg "Faults: dup_delay < 0"
+
+let plan ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(corrupt = 0.)
+    ?(reorder_delay = zero.reorder_delay) ?(dup_delay = zero.dup_delay) () =
+  let p = { drop; duplicate; reorder; corrupt; reorder_delay; dup_delay } in
+  validate_plan p;
+  p
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  plan : plan;
+  mutable packets : int;
+  mutable drops : int;
+  mutable corruptions : int;
+  mutable duplicates : int;
+  mutable reorders : int;
+  mutable injected : int;
+}
+
+let create sim ~rng ~plan () =
+  validate_plan plan;
+  {
+    sim;
+    rng;
+    plan;
+    packets = 0;
+    drops = 0;
+    corruptions = 0;
+    duplicates = 0;
+    reorders = 0;
+    injected = 0;
+  }
+
+let apply t pkt ~deliver =
+  t.packets <- t.packets + 1;
+  (* Fixed draw order keeps runs comparable across plans with the same
+     seed: drop, corrupt, duplicate, reorder — every packet consumes
+     exactly four draws whichever faults fire. *)
+  let dropped = Rng.bernoulli t.rng t.plan.drop in
+  let corrupted = Rng.bernoulli t.rng t.plan.corrupt in
+  let duplicated = Rng.bernoulli t.rng t.plan.duplicate in
+  let reordered = Rng.bernoulli t.rng t.plan.reorder in
+  if dropped then begin
+    t.drops <- t.drops + 1;
+    t.injected <- t.injected + 1
+  end
+  else if corrupted then begin
+    t.corruptions <- t.corruptions + 1;
+    t.injected <- t.injected + 1
+  end
+  else begin
+    if duplicated || reordered then t.injected <- t.injected + 1;
+    if reordered then begin
+      t.reorders <- t.reorders + 1;
+      let _ : Sim.handle =
+        Sim.schedule_after t.sim ~delay:t.plan.reorder_delay (fun () -> deliver pkt)
+      in
+      ()
+    end
+    else deliver pkt;
+    if duplicated then begin
+      t.duplicates <- t.duplicates + 1;
+      let delay = t.plan.dup_delay +. if reordered then t.plan.reorder_delay else 0. in
+      let _ : Sim.handle = Sim.schedule_after t.sim ~delay (fun () -> deliver pkt) in
+      ()
+    end
+  end
+
+let injected t = t.injected
+
+let info t =
+  [
+    ("fault_packets", float_of_int t.packets);
+    ("fault_drops", float_of_int t.drops);
+    ("fault_corruptions", float_of_int t.corruptions);
+    ("fault_duplicates", float_of_int t.duplicates);
+    ("fault_reorders", float_of_int t.reorders);
+    ("fault_injected", float_of_int t.injected);
+  ]
+
+let corrupt_frame rng frame =
+  if String.length frame = 0 then frame
+  else begin
+    let i = Rng.int rng (String.length frame) in
+    let b = Bytes.of_string frame in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x80));
+    Bytes.unsafe_to_string b
+  end

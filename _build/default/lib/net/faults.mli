@@ -1,0 +1,62 @@
+(** Seeded, deterministic packet-fault injection for the simulated network.
+
+    A {!plan} gives per-packet probabilities for the four classic network
+    faults — drop, duplicate, reorder, corrupt — applied on the
+    client→server path just before the request reaches the server's NIC
+    ring. Corrupted packets model frames whose length prefix / checksum
+    fails validation (see {!Framing.Reassembler}): the NIC or framing layer
+    discards them, so for the simulation they are drops counted under a
+    separate cause.
+
+    All randomness is drawn from the dedicated [rng] stream handed to
+    {!create} — never from the load generator's or the system's streams —
+    so a plan whose rates are all [0.0] yields a bit-identical simulation
+    to running with no plan at all (the fault layer then delivers every
+    packet synchronously and schedules no events). *)
+
+type plan = {
+  drop : float;  (** P(packet silently lost) *)
+  duplicate : float;  (** P(packet delivered twice) *)
+  reorder : float;  (** P(packet delayed by [reorder_delay], letting later
+                        packets overtake it) *)
+  corrupt : float;  (** P(packet corrupted in flight and discarded by
+                        framing validation) *)
+  reorder_delay : float;  (** extra latency of a reordered packet (µs) *)
+  dup_delay : float;  (** lag of the duplicate copy behind the original (µs) *)
+}
+
+val zero : plan
+(** All rates 0; delays at harmless defaults. *)
+
+val plan : ?drop:float -> ?duplicate:float -> ?reorder:float -> ?corrupt:float ->
+  ?reorder_delay:float -> ?dup_delay:float -> unit -> plan
+(** [zero] overridden field-wise; validates (rates in [0,1], delays >= 0,
+    rates summing <= 1 not required — drop/corrupt are exclusive, the rest
+    independent). Raises [Invalid_argument] on out-of-range values. *)
+
+val validate_plan : plan -> unit
+
+type t
+
+val create : Engine.Sim.t -> rng:Engine.Rng.t -> plan:plan -> unit -> t
+(** [rng] must be a dedicated stream (e.g. a {!Engine.Rng.split} of the
+    master) so fault draws never perturb other components. *)
+
+val apply : t -> 'a -> deliver:('a -> unit) -> unit
+(** Run one packet through the plan. [deliver] is called zero, one or two
+    times: never for a dropped/corrupted packet, immediately (same call
+    stack) for a clean packet, after [reorder_delay] for a reordered one,
+    and an extra time after [dup_delay] for a duplicated one. *)
+
+val injected : t -> int
+(** Packets that suffered at least one fault. *)
+
+val info : t -> (string * float) list
+(** Per-kind counters for {!Systems.Iface.info}-style reporting:
+    [fault_drops], [fault_corruptions], [fault_duplicates],
+    [fault_reorders], [fault_injected], [fault_packets]. *)
+
+val corrupt_frame : Engine.Rng.t -> string -> string
+(** Flip the top bit of one random byte of an encoded frame — the
+    corruption {!Framing.Reassembler} is expected to detect when the byte
+    lands in a length prefix. Used by framing/fault tests. *)

@@ -6,6 +6,51 @@ type conn_selection =
   | Uniform
   | Hot_cold of { hot_fraction : float; hot_load : float }
 
+type retry = {
+  timeout : float;
+  max_retries : int;
+  backoff_base : float;
+  backoff_max : float;
+  jitter : float;
+}
+
+let validate_retry r =
+  if Float.is_nan r.timeout || r.timeout <= 0. then invalid_arg "Loadgen.retry: timeout <= 0";
+  if r.max_retries < 0 then invalid_arg "Loadgen.retry: max_retries < 0";
+  if Float.is_nan r.backoff_base || r.backoff_base < 0. then
+    invalid_arg "Loadgen.retry: backoff_base < 0";
+  if Float.is_nan r.backoff_max || r.backoff_max < r.backoff_base then
+    invalid_arg "Loadgen.retry: backoff_max < backoff_base";
+  if Float.is_nan r.jitter || r.jitter < 0. || r.jitter >= 1. then
+    invalid_arg "Loadgen.retry: jitter outside [0, 1)"
+
+let retry ?(timeout = 200.) ?(max_retries = 3) ?(backoff_base = 50.) ?(backoff_max = 800.)
+    ?(jitter = 0.2) () =
+  let r = { timeout; max_retries; backoff_base; backoff_max; jitter } in
+  validate_retry r;
+  r
+
+let backoff_nominal r ~attempt =
+  if attempt < 1 then invalid_arg "Loadgen.backoff_nominal: attempt < 1";
+  (* Capped exponential: base, 2*base, 4*base, ... clipped at the cap.
+     The exponent is bounded first so huge attempt numbers cannot
+     overflow the float. *)
+  let doublings = min (attempt - 1) 60 in
+  Float.min r.backoff_max (r.backoff_base *. Float.pow 2. (float_of_int doublings))
+
+(* One logical request whose response is still awaited: the original send
+   plus any retransmissions. Only allocated when retries are enabled. *)
+type pending = {
+  p_id : int;  (* logical id = physical id of the original send *)
+  p_conn : int;
+  p_service : float;
+  p_measured : bool;
+  p_first_arrival : float;
+  mutable p_attempts : int;  (* retransmissions sent so far *)
+  mutable p_timeout : Sim.handle option;
+  mutable p_done : bool;
+}
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -14,12 +59,22 @@ type t = {
   service : Dist.t;
   selection : conn_selection;
   service_fn : (conn:int -> float) option;
+  slo : float;
+  retry : retry option;
+  retry_rng : Rng.t option;  (* dedicated stream for backoff jitter *)
+  pending : (int, pending) Hashtbl.t;  (* logical id -> state *)
+  phys2log : (int, int) Hashtbl.t;  (* retransmission id -> logical id *)
   mutable target : (Request.t -> unit) option;
   mutable next_id : int;
   mutable generated : int;
   mutable measured_generated : int;
   mutable measured_completed : int;
   mutable order_violations : int;
+  mutable duplicate_completions : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable retry_exhausted : int;
+  mutable goodput_completions : int;
   mutable measure_span : float;
   mutable measure_start : float;
   mutable measure_end : float;
@@ -28,9 +83,12 @@ type t = {
   outstanding : int Queue.t array;  (* per-conn FIFO of pending request ids *)
 }
 
-let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn () =
+let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
+    ?(slo = infinity) ?retry () =
   if conns < 1 then invalid_arg "Loadgen.create: conns < 1";
   if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
+  if Float.is_nan slo || slo <= 0. then invalid_arg "Loadgen.create: slo <= 0";
+  Option.iter validate_retry retry;
   (match selection with
   | Uniform -> ()
   | Hot_cold { hot_fraction; hot_load } ->
@@ -44,12 +102,24 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn () 
     service;
     selection;
     service_fn;
+    slo;
+    retry;
+    (* Split only when retries are on: with [retry = None] the generator's
+       draw sequence is bit-identical to the pre-retry implementation. *)
+    retry_rng = (match retry with Some _ -> Some (Rng.split rng) | None -> None);
+    pending = Hashtbl.create (if retry = None then 1 else 1024);
+    phys2log = Hashtbl.create (if retry = None then 1 else 1024);
     target = None;
     next_id = 0;
     generated = 0;
     measured_generated = 0;
     measured_completed = 0;
     order_violations = 0;
+    duplicate_completions = 0;
+    retries = 0;
+    timeouts = 0;
+    retry_exhausted = 0;
+    goodput_completions = 0;
     measure_span = 0.;
     measure_start = infinity;
     measure_end = infinity;
@@ -60,12 +130,53 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn () 
 
 let set_target t f = t.target <- Some f
 
-let emit t ~measure_start ~stop_at =
-  let target =
-    match t.target with
-    | Some f -> f
-    | None -> invalid_arg "Loadgen: no target set"
+let send t req =
+  match t.target with
+  | Some f -> f req
+  | None -> invalid_arg "Loadgen: no target set"
+
+(* ---- client-side resilience: timeouts, capped backoff, retransmission ---- *)
+
+let rec arm_timeout t p (r : retry) =
+  p.p_timeout <-
+    Some
+      (Sim.schedule_after t.sim ~delay:r.timeout (fun () ->
+           p.p_timeout <- None;
+           if not p.p_done then on_timeout t p r))
+
+and on_timeout t p r =
+  t.timeouts <- t.timeouts + 1;
+  if p.p_attempts >= r.max_retries then
+    (* Retry budget exhausted: give up on this request. A straggling
+       response may still arrive and complete it (late, beyond SLO). *)
+    t.retry_exhausted <- t.retry_exhausted + 1
+  else begin
+    p.p_attempts <- p.p_attempts + 1;
+    let nominal = backoff_nominal r ~attempt:p.p_attempts in
+    let jittered =
+      match t.retry_rng with
+      | Some rng -> nominal *. (1. +. (r.jitter *. Rng.float rng))
+      | None -> nominal
+    in
+    let _ : Sim.handle =
+      Sim.schedule_after t.sim ~delay:jittered (fun () ->
+          if not p.p_done then retransmit t p r)
+    in
+    ()
+  end
+
+and retransmit t p r =
+  let req =
+    Request.make ~id:t.next_id ~conn:p.p_conn ~arrival:(Sim.now t.sim) ~service:p.p_service
+      ~measured:false
   in
+  t.next_id <- t.next_id + 1;
+  t.retries <- t.retries + 1;
+  Hashtbl.replace t.phys2log req.Request.id p.p_id;
+  arm_timeout t p r;
+  send t req
+
+let emit t ~measure_start ~stop_at =
   let now = Sim.now t.sim in
   let conn =
     match t.selection with
@@ -86,8 +197,28 @@ let emit t ~measure_start ~stop_at =
   t.next_id <- t.next_id + 1;
   t.generated <- t.generated + 1;
   if measured then t.measured_generated <- t.measured_generated + 1;
-  Queue.add req.Request.id t.outstanding.(conn);
-  target req
+  (match t.retry with
+  | None ->
+      (* Per-connection ordering bookkeeping (see [complete]). With retries
+         on, the queues are unused: retransmissions make the FIFO invariant
+         meaningless, so losses surface as timeouts instead. *)
+      Queue.add req.Request.id t.outstanding.(conn)
+  | Some r ->
+      let p =
+        {
+          p_id = req.Request.id;
+          p_conn = conn;
+          p_service = service;
+          p_measured = measured;
+          p_first_arrival = now;
+          p_attempts = 0;
+          p_timeout = None;
+          p_done = false;
+        }
+      in
+      Hashtbl.replace t.pending p.p_id p;
+      arm_timeout t p r);
+  send t req
 
 let start t ~warmup ~measure =
   if t.target = None then invalid_arg "Loadgen.start: no target set";
@@ -108,33 +239,70 @@ let start t ~warmup ~measure =
   let first_gap = Rng.exponential t.rng ~mean:(1. /. t.rate) in
   ignore (Sim.schedule_after t.sim ~delay:first_gap arrival : Sim.handle)
 
-let complete t (req : Request.t) =
-  if Request.is_completed req then invalid_arg "Loadgen.complete: already completed";
-  req.Request.completion <- Sim.now t.sim;
-  (* Per-connection ordering check (§4.3): the completed request must be
-     the oldest outstanding one on its connection. *)
-  let q = t.outstanding.(req.Request.conn) in
-  (match Queue.take_opt q with
-  | Some id when id = req.Request.id -> ()
-  | Some _ | None ->
-      t.order_violations <- t.order_violations + 1;
-      (* Drop the stale entry for this id so the queue does not grow. *)
-      let keep = Queue.create () in
-      Queue.iter (fun id -> if id <> req.Request.id then Queue.add id keep) q;
-      Queue.clear q;
-      Queue.transfer keep q);
-  (* Achieved throughput counts every completion inside the measurement
-     window, whichever request it belongs to — beyond saturation it
-     plateaus at the system's capacity instead of tracking the offered
-     rate. *)
-  let now = Sim.now t.sim in
+(* Record a distinct logical completion at time [now] with latency [lat]. *)
+let record_completion t ~now ~measured ~lat =
   if now >= t.measure_start && now < t.measure_end then
     t.window_completions <- t.window_completions + 1;
-  if req.Request.measured then begin
-    if now < t.measure_end then t.measured_completed <- t.measured_completed + 1;
+  if measured then begin
+    if now < t.measure_end then begin
+      t.measured_completed <- t.measured_completed + 1;
+      (* Goodput: distinct measured requests whose response made the SLO,
+         completed inside the window — the metric that collapses under a
+         retry storm while raw throughput still looks healthy. *)
+      if lat <= t.slo then t.goodput_completions <- t.goodput_completions + 1
+    end;
     (* Latency is recorded for every measured request, so overload shows
        up in the tail. *)
-    Stats.Tally.record t.latencies (Request.latency req)
+    Stats.Tally.record t.latencies lat
+  end
+
+let complete t (req : Request.t) =
+  if Request.is_completed req then
+    (* Duplicate responses are legitimate under packet duplication and
+       under client retries; count them instead of raising. *)
+    t.duplicate_completions <- t.duplicate_completions + 1
+  else begin
+    req.Request.completion <- Sim.now t.sim;
+    let now = Sim.now t.sim in
+    match t.retry with
+    | None ->
+        (* Per-connection ordering check (§4.3): the completed request must
+           be the oldest outstanding one on its connection. *)
+        let q = t.outstanding.(req.Request.conn) in
+        (match Queue.take_opt q with
+        | Some id when id = req.Request.id -> ()
+        | Some _ | None ->
+            t.order_violations <- t.order_violations + 1;
+            (* Drop the stale entry for this id so the queue does not grow. *)
+            let keep = Queue.create () in
+            Queue.iter (fun id -> if id <> req.Request.id then Queue.add id keep) q;
+            Queue.clear q;
+            Queue.transfer keep q);
+        record_completion t ~now ~measured:req.Request.measured ~lat:(Request.latency req)
+    | Some _ -> (
+        let log_id =
+          match Hashtbl.find_opt t.phys2log req.Request.id with
+          | Some l -> l
+          | None -> req.Request.id
+        in
+        match Hashtbl.find_opt t.pending log_id with
+        | None -> ()  (* completed before [start] armed any state; ignore *)
+        | Some p ->
+            if p.p_done then
+              (* A different copy of this logical request already came
+                 back: the response this retransmission earned. *)
+              t.duplicate_completions <- t.duplicate_completions + 1
+            else begin
+              p.p_done <- true;
+              (match p.p_timeout with
+              | Some h ->
+                  Sim.cancel t.sim h;
+                  p.p_timeout <- None
+              | None -> ());
+              (* Client-observed latency spans from the first send, not the
+                 retransmission that finally got through. *)
+              record_completion t ~now ~measured:p.p_measured ~lat:(now -. p.p_first_arrival)
+            end)
   end
 
 let tally t = t.latencies
@@ -147,7 +315,18 @@ let measured_completed t = t.measured_completed
 
 let order_violations t = t.order_violations
 
+let duplicate_completions t = t.duplicate_completions
+
+let retries t = t.retries
+
+let timeouts t = t.timeouts
+
+let retry_exhausted t = t.retry_exhausted
+
 let throughput t =
   if t.measure_span = 0. then 0. else float_of_int t.window_completions /. t.measure_span
+
+let goodput t =
+  if t.measure_span = 0. then 0. else float_of_int t.goodput_completions /. t.measure_span
 
 let conns t = t.conns

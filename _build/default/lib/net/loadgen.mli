@@ -11,7 +11,17 @@
     Latency is recorded client-side at response completion, but only for
     requests that arrive inside the measurement window (warmup and drain
     excluded). The generator also checks the paper's ordering guarantee:
-    responses on one connection must come back in request order (§4.3). *)
+    responses on one connection must come back in request order (§4.3).
+
+    {b Resilience.} With a {!retry} policy the generator behaves like a
+    production RPC client facing a lossy network or an overloaded server:
+    each request is timed out, retransmitted after capped exponential
+    backoff with jitter, and abandoned once the retry budget is spent.
+    Responses are then de-duplicated: latency and {!goodput} count each
+    {e logical} request once, from its first transmission to its first
+    response. All backoff jitter comes from a dedicated stream split off
+    the generator's [rng] at creation, so runs without retries are
+    bit-identical to the pre-retry implementation. *)
 
 type t
 
@@ -24,6 +34,34 @@ type conn_selection =
   | Uniform
   | Hot_cold of { hot_fraction : float; hot_load : float }
 
+(** Client-side retry policy. The nth retransmission waits
+    [min backoff_max (backoff_base * 2^(n-1))] µs after its timeout,
+    stretched by a uniform jitter factor in [1, 1 + jitter). *)
+type retry = {
+  timeout : float;  (** per-attempt response timeout (µs), > 0 *)
+  max_retries : int;  (** retransmissions after the first send, >= 0 *)
+  backoff_base : float;  (** first backoff delay (µs) *)
+  backoff_max : float;  (** backoff cap (µs), >= backoff_base *)
+  jitter : float;  (** jitter fraction in [0, 1) *)
+}
+
+val retry :
+  ?timeout:float ->
+  ?max_retries:int ->
+  ?backoff_base:float ->
+  ?backoff_max:float ->
+  ?jitter:float ->
+  unit ->
+  retry
+(** Defaults: 200µs timeout, 3 retries, backoff 50µs doubling to 800µs,
+    20% jitter. Raises [Invalid_argument] on out-of-range fields. *)
+
+val validate_retry : retry -> unit
+
+val backoff_nominal : retry -> attempt:int -> float
+(** Backoff delay (µs, before jitter) that precedes retransmission
+    [attempt] (1-based). Capped exponential; raises on [attempt < 1]. *)
+
 val create :
   Engine.Sim.t ->
   rng:Engine.Rng.t ->
@@ -32,6 +70,8 @@ val create :
   service:Engine.Dist.t ->
   ?selection:conn_selection ->
   ?service_fn:(conn:int -> float) ->
+  ?slo:float ->
+  ?retry:retry ->
   unit ->
   t
 (** [rate] is in requests per µs (e.g. 1.0 = 1 MRPS). The target server is
@@ -43,7 +83,10 @@ val create :
     application work is coupled into the simulation (see
     {!Experiments.Appserve}): the function executes actual application
     code — a Silo transaction, a memcached op — measures it, and the
-    simulated server then "serves" that measured demand. *)
+    simulated server then "serves" that measured demand.
+
+    [slo] (µs, default infinity) is the latency bound {!goodput} counts
+    against. [retry], when given, enables timeouts and retransmission. *)
 
 val set_target : t -> (Request.t -> unit) -> unit
 (** Where generated requests are delivered (the server's submit
@@ -57,25 +100,50 @@ val start : t -> warmup:float -> measure:float -> unit
 val complete : t -> Request.t -> unit
 (** Called by the server when the response for [req] is on the wire.
     Records latency for measured requests and verifies per-connection
-    ordering. Completing a request twice raises [Invalid_argument]. *)
+    ordering. Completing a request twice — legitimate under packet
+    duplication and client retries — is counted in
+    {!duplicate_completions} and otherwise ignored. *)
 
 val tally : t -> Stats.Tally.t
-(** Latencies (µs) of measured, completed requests. *)
+(** Latencies (µs) of measured, completed requests. With retries, one
+    sample per {e logical} request, first send to first response. *)
 
 val generated : t -> int
-(** Total requests generated (including warmup). *)
+(** Total requests generated (including warmup, excluding
+    retransmissions). *)
 
 val measured_generated : t -> int
 
 val measured_completed : t -> int
+(** Distinct measured requests whose (first) response arrived inside the
+    measurement window. *)
 
 val order_violations : t -> int
 (** Completions that came back out of order on their connection. Always 0
-    for a correct system model. *)
+    for a correct system model on a fault-free network; packet reordering
+    shows up here. Not tracked (always 0) when retries are enabled. *)
+
+val duplicate_completions : t -> int
+(** Responses for already-completed requests (network duplication, or a
+    retransmission whose original also got served). *)
+
+val retries : t -> int
+(** Retransmissions sent. *)
+
+val timeouts : t -> int
+(** Attempts that timed out. *)
+
+val retry_exhausted : t -> int
+(** Requests abandoned after the full retry budget. *)
 
 val throughput : t -> float
 (** Achieved throughput: responses leaving the server {e during} the
     measurement window, per µs. Beyond saturation this plateaus at system
     capacity while latencies blow up. *)
+
+val goodput : t -> float
+(** Distinct measured requests completed inside the window {e and} within
+    [slo] of their first send, per µs — the paper-facing "useful work"
+    metric. Equals the measured completion rate when [slo] is infinite. *)
 
 val conns : t -> int

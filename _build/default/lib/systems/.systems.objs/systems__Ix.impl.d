@@ -1,1 +1,1 @@
-lib/systems/ix.ml: Array Engine Iface List Net Params Printf
+lib/systems/ix.ml: Array Core Engine Iface List Net Params Printf

@@ -1,1 +1,1 @@
-lib/systems/linux.ml: Array Engine Iface Net Params Queue
+lib/systems/linux.ml: Array Core Engine Iface Net Params Queue

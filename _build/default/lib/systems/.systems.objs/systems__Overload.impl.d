@@ -1,0 +1,1 @@
+lib/systems/overload.ml: Engine Float Hashtbl Net Queue

@@ -1,0 +1,1 @@
+lib/systems/overload.mli: Engine Net

@@ -1,1 +1,1 @@
-lib/systems/params.ml:
+lib/systems/params.ml: Core Float List Printf

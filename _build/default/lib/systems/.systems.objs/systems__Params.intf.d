@@ -1,1 +1,1 @@
-lib/systems/params.mli:
+lib/systems/params.mli: Core

@@ -1,15 +1,22 @@
 module Sim = Engine.Sim
 module Request = Net.Request
+module Corefault = Core.Corefault
 
-type icore = { ring : Request.t Net.Ring.t; mutable busy : bool }
+type icore = { id : int; ring : Request.t Net.Ring.t; mutable busy : bool }
 
 (* [route req] returns the core for a request; [note] observes the
    arrival (slot counters for the control plane). *)
 let make sim (p : Params.t) ~route ~note ~respond =
+  let p = Params.validate p in
+  let faults = Params.corefaults p in
   let cores =
-    Array.init p.cores (fun _ ->
-        { ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false })
+    Array.init p.cores (fun id ->
+        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false })
   in
+  (* Straggler-aware clock arithmetic: with no fault windows this is
+     exactly [t +. work], so a fault-free run is bit-identical to the
+     pre-fault implementation. *)
+  let advance c t work = Corefault.completion_time faults ~core:c.id ~now:t ~work in
   let rec iteration c =
     (* Take up to B packets: "adaptive" bounded batching processes whatever
        has accumulated, capped at B. *)
@@ -30,18 +37,23 @@ let make sim (p : Params.t) ~route ~note ~respond =
            path — request 1's response waits for request k's execution,
            which is exactly why large B hurts tail latency (Fig. 11). *)
         let pkts = float_of_int p.rpc_packets in
-        let rx_done = Sim.now sim +. p.dp_loop +. (float_of_int k *. pkts *. p.dp_rx) in
+        let rx_done =
+          (* Two steps, preserving the original left-associated float sum
+             [now +. dp_loop +. k*rx] bit for bit. *)
+          let loop_done = advance c (Sim.now sim) p.dp_loop in
+          advance c loop_done (float_of_int k *. pkts *. p.dp_rx)
+        in
         let exec_done =
           List.fold_left
             (fun t req ->
               req.Request.started <- t;
-              t +. req.Request.service)
+              advance c t req.Request.service)
             rx_done batch
         in
         let finish_at =
           List.fold_left
             (fun t req ->
-              let sent = t +. (pkts *. p.dp_tx) in
+              let sent = advance c t (pkts *. p.dp_tx) in
               let _ : Sim.handle = Sim.schedule sim ~at:sent (fun () -> respond req) in
               sent)
             exec_done batch

@@ -1,5 +1,6 @@
 module Sim = Engine.Sim
 module Request = Net.Request
+module Corefault = Core.Corefault
 
 (* Per-request thread-side cost: read+write syscalls plus the kernel
    TCP/IP stack each way for every packet of the request/response. *)
@@ -8,21 +9,29 @@ let thread_overhead (p : Params.t) =
 
 (* ---- Partitioned: static connection->core assignment via RSS ---- *)
 
-type pcore = { queue : Request.t Queue.t; mutable busy : bool }
+type pcore = { id : int; ring : Request.t Net.Ring.t; mutable busy : bool }
 
 let partitioned sim (p : Params.t) ~conns ~respond =
+  let p = Params.validate p in
+  let faults = Params.corefaults p in
   let rss = Net.Rss.create ~queues:p.cores () in
   let home = Array.init conns (fun c -> Net.Rss.queue_of_conn rss c) in
-  let cores = Array.init p.cores (fun _ -> { queue = Queue.create (); busy = false }) in
+  let cores =
+    Array.init p.cores (fun id ->
+        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false })
+  in
   let per_request_overhead = p.linux_epoll +. thread_overhead p in
   let rec run_next c =
-    match Queue.take_opt c.queue with
+    match Net.Ring.pop c.ring with
     | None -> c.busy <- false
     | Some req ->
         req.Request.started <- Sim.now sim;
-        let cost = per_request_overhead +. req.Request.service in
+        let work = per_request_overhead +. req.Request.service in
+        let done_at =
+          Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
+        in
         let _ : Sim.handle =
-          Sim.schedule_after sim ~delay:cost (fun () ->
+          Sim.schedule sim ~at:done_at (fun () ->
               respond req;
               run_next c)
         in
@@ -30,17 +39,20 @@ let partitioned sim (p : Params.t) ~conns ~respond =
   in
   let submit req =
     let c = cores.(home.(req.Request.conn)) in
-    Queue.add req c.queue;
-    if not c.busy then begin
-      c.busy <- true;
-      (* The thread is blocked in epoll_wait; it resumes after the wakeup
-         latency and then drains its queue. *)
-      let _ : Sim.handle = Sim.schedule_after sim ~delay:p.linux_wakeup (fun () -> run_next c) in
-      ()
-    end
+    if Net.Ring.push c.ring req then
+      if not c.busy then begin
+        c.busy <- true;
+        (* The thread is blocked in epoll_wait; it resumes after the wakeup
+           latency and then drains its queue. *)
+        let _ : Sim.handle = Sim.schedule_after sim ~delay:p.linux_wakeup (fun () -> run_next c) in
+        ()
+      end
   in
   let info () =
-    [ ("backlog", float_of_int (Array.fold_left (fun acc c -> acc + Queue.length c.queue) 0 cores)) ]
+    [
+      ("backlog", float_of_int (Array.fold_left (fun acc c -> acc + Net.Ring.length c.ring) 0 cores));
+      ("ring_drops", float_of_int (Array.fold_left (fun acc c -> acc + Net.Ring.drops c.ring) 0 cores));
+    ]
   in
   { Iface.name = "linux-partitioned"; submit; info }
 
@@ -65,9 +77,18 @@ type fstate = {
   conn_busy : bool array;
   conn_pending : Request.t Queue.t array;
   mutable idle_threads : int;
+  mutable backlog : int;  (* accepted, execution not yet started *)
+  mutable drops : int;  (* refused: kernel backlog budget exhausted *)
+  mutable next_thread : int;  (* round-robin core assignment of executions *)
 }
 
 let floating sim (p : Params.t) ~conns ~respond =
+  let p = Params.validate p in
+  let faults = Params.corefaults p in
+  (* The kernel buffers bursts in per-socket receive queues, not a NIC
+     ring the application sees; the aggregate socket-buffer budget still
+     bounds how far the backlog can grow before packets are refused. *)
+  let backlog_capacity = p.ring_capacity * p.cores in
   let st =
     {
       dispatch_queue = Queue.create ();
@@ -76,18 +97,27 @@ let floating sim (p : Params.t) ~conns ~respond =
       conn_busy = Array.make conns false;
       conn_pending = Array.init conns (fun _ -> Queue.create ());
       idle_threads = p.cores;
+      backlog = 0;
+      drops = 0;
+      next_thread = 0;
     }
   in
   (* Only the pool-lock hand-off serializes; each woken thread performs
      its own epoll_wait in parallel (EPOLLEXCLUSIVE). *)
   let dispatch_cost = p.linux_lock in
   let rec start ~woken req =
+    st.backlog <- st.backlog - 1;
+    (* Threads are unpinned; model the antagonist by spreading executions
+       round-robin over the cores it may land on. *)
+    let core = st.next_thread in
+    st.next_thread <- (st.next_thread + 1) mod p.cores;
     req.Request.started <- Sim.now sim;
-    let cost =
+    let work =
       (if woken then p.linux_wakeup else 0.)
       +. p.linux_epoll +. thread_overhead p +. req.Request.service
     in
-    let _ : Sim.handle = Sim.schedule_after sim ~delay:cost (fun () -> finish req) in
+    let done_at = Corefault.completion_time faults ~core ~now:(Sim.now sim) ~work in
+    let _ : Sim.handle = Sim.schedule sim ~at:done_at (fun () -> finish req) in
     ()
   and finish req =
     respond req;
@@ -122,16 +152,21 @@ let floating sim (p : Params.t) ~conns ~respond =
           ()
   in
   let submit req =
-    let conn = req.Request.conn in
-    if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
+    if st.backlog >= backlog_capacity then st.drops <- st.drops + 1
     else begin
-      st.conn_busy.(conn) <- true;
-      enqueue_dispatch req
+      st.backlog <- st.backlog + 1;
+      let conn = req.Request.conn in
+      if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
+      else begin
+        st.conn_busy.(conn) <- true;
+        enqueue_dispatch req
+      end
     end
   in
   let info () =
     [
       ("backlog", float_of_int (Queue.length st.ready + Queue.length st.dispatch_queue));
+      ("ring_drops", float_of_int st.drops);
     ]
   in
   { Iface.name = "linux-floating"; submit; info }

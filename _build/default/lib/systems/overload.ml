@@ -1,0 +1,83 @@
+module Sim = Engine.Sim
+module Request = Net.Request
+
+type policy = No_shed | Queue_length of int | Sojourn of float
+
+let validate_policy = function
+  | No_shed -> ()
+  | Queue_length k -> if k < 1 then invalid_arg "Overload: Queue_length bound < 1"
+  | Sojourn s ->
+      if Float.is_nan s || s <= 0. then invalid_arg "Overload: Sojourn bound <= 0"
+
+type t = {
+  sim : Sim.t;
+  policy : policy;
+  live : (int, unit) Hashtbl.t;  (* admitted request ids awaiting a response *)
+  fifo : (int * float) Queue.t;  (* (id, admit time), stale entries skipped lazily *)
+  mutable inflight : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable peak : int;
+}
+
+let create sim ~policy () =
+  validate_policy policy;
+  {
+    sim;
+    policy;
+    live = Hashtbl.create 1024;
+    fifo = Queue.create ();
+    inflight = 0;
+    admitted = 0;
+    shed = 0;
+    peak = 0;
+  }
+
+(* Pop fifo entries whose request already completed (lazy deletion). *)
+let rec evict_retired t =
+  match Queue.peek_opt t.fifo with
+  | Some (id, _) when not (Hashtbl.mem t.live id) ->
+      ignore (Queue.pop t.fifo : int * float);
+      evict_retired t
+  | _ -> ()
+
+let over_limit t =
+  match t.policy with
+  | No_shed -> false
+  | Queue_length k -> t.inflight >= k
+  | Sojourn bound -> (
+      evict_retired t;
+      match Queue.peek_opt t.fifo with
+      | Some (_, admitted_at) -> Sim.now t.sim -. admitted_at > bound
+      | None -> false)
+
+let track t (req : Request.t) =
+  if not (Hashtbl.mem t.live req.Request.id) then begin
+    Hashtbl.replace t.live req.Request.id ();
+    Queue.add (req.Request.id, Sim.now t.sim) t.fifo;
+    t.inflight <- t.inflight + 1;
+    if t.inflight > t.peak then t.peak <- t.inflight
+  end
+
+let admit t (req : Request.t) ~forward =
+  if over_limit t then t.shed <- t.shed + 1
+  else begin
+    t.admitted <- t.admitted + 1;
+    track t req;
+    forward req
+  end
+
+let note_response t (req : Request.t) =
+  if Hashtbl.mem t.live req.Request.id then begin
+    Hashtbl.remove t.live req.Request.id;
+    t.inflight <- t.inflight - 1
+  end
+
+let inflight t = t.inflight
+
+let info t =
+  [
+    ("admitted", float_of_int t.admitted);
+    ("shed", float_of_int t.shed);
+    ("inflight_peak", float_of_int t.peak);
+  ]

@@ -1,0 +1,49 @@
+(** Server-side admission control / load shedding.
+
+    SWP-style overload handling: past saturation, an open-loop arrival
+    process (and worse, a retrying client population) grows server queues
+    without bound, so the latency of {e every} admitted request blows past
+    the SLO and goodput collapses — the classic retry-storm metastable
+    failure. Shedding keeps the backlog bounded: requests the server
+    cannot serve in time are refused at the NIC boundary (the client sees
+    a timeout and backs off), so the requests that {e are} admitted still
+    meet the SLO and goodput degrades gracefully to the service capacity.
+
+    The guard wraps a system's submit/respond pair and is policy-checked
+    before a request reaches the model, so it composes with all of
+    Linux/IX/ZygOS unchanged. With {!No_shed} the guard only counts
+    in-flight requests — it draws no randomness and schedules no events,
+    so it cannot perturb a simulation. *)
+
+type policy =
+  | No_shed  (** admit everything (observation only) *)
+  | Queue_length of int
+      (** refuse when the server already holds this many admitted,
+          unanswered requests (>= 1) *)
+  | Sojourn of float
+      (** refuse while the oldest admitted, unanswered request has been
+          in the server longer than this bound (µs, > 0) — a
+          CoDel-flavoured head-sojourn rule that adapts to service-time
+          dispersion where a fixed queue bound cannot *)
+
+val validate_policy : policy -> unit
+(** Raises [Invalid_argument] on a non-positive bound. *)
+
+type t
+
+val create : Engine.Sim.t -> policy:policy -> unit -> t
+
+val admit : t -> Net.Request.t -> forward:(Net.Request.t -> unit) -> unit
+(** Apply the policy: either [forward] the request into the server (and
+    start tracking it) or shed it — the request is then never delivered
+    and never completed, exactly like a drop at a full NIC ring. *)
+
+val note_response : t -> Net.Request.t -> unit
+(** Must be called on the server's respond path so the guard can retire
+    the request from its in-flight accounting. *)
+
+val inflight : t -> int
+
+val info : t -> (string * float) list
+(** [admitted], [shed], [inflight_peak] — merged into the wrapped
+    system's {!Iface.info} output by the experiment runner. *)

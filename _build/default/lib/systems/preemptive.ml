@@ -28,6 +28,7 @@ type state = {
 }
 
 let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate () =
+  let p = Params.validate p in
   if quantum <= 0. then invalid_arg "Preemptive.create: quantum <= 0";
   if switch_cost < 0. then invalid_arg "Preemptive.create: switch_cost < 0";
   let st =

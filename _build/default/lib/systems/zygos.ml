@@ -44,6 +44,7 @@ type zcore = {
 type t = {
   sim : Sim.t;
   p : Params.t;
+  faults : Core.Corefault.t;  (* straggler schedule; [none] = exact nominal times *)
   sched : Request.t Sched.t;
   pcbs : Request.t Sched.pcb array;
   zcores : zcore array;
@@ -58,7 +59,12 @@ type t = {
 
    A core executes one timed segment at a time (user execution of one
    event, or a stretch of kernel work). IPIs extend the current segment:
-   the handler's work is accounted inside the interrupted execution. *)
+   the handler's work is accounted inside the interrupted execution.
+
+   Segments are where straggler injection lands: the nominal cost is run
+   through [Corefault.completion_time], which stretches (or parks) work
+   overlapping a fault window. With no straggler schedule the arithmetic
+   is exactly [now +. cost], preserving bit-identical fault-free runs. *)
 
 let segment_finished c finish () =
   c.cur_handle <- None;
@@ -69,14 +75,16 @@ let start_segment t c ~mode ~cost ~finish =
   assert (c.cur_handle = None);
   c.mode <- mode;
   c.cur_finish <- Some finish;
-  c.cur_done_at <- Sim.now t.sim +. cost;
+  c.cur_done_at <-
+    Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost;
   c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
 
 let extend_segment t c ~extra =
   match (c.cur_handle, c.cur_finish) with
   | Some h, Some finish ->
       Sim.cancel t.sim h;
-      c.cur_done_at <- c.cur_done_at +. extra;
+      c.cur_done_at <-
+        Core.Corefault.completion_time t.faults ~core:c.id ~now:c.cur_done_at ~work:extra;
       c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
   | _ -> assert false
 
@@ -310,6 +318,7 @@ and scan_and_ipi t c =
     order
 
 let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
+  let p = Params.validate p in
   let rss = Net.Rss.create ~queues:p.cores () in
   let sched = Sched.create ~cores:p.cores in
   let pcbs =
@@ -335,6 +344,7 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
     {
       sim;
       p;
+      faults = Params.corefaults p;
       sched;
       pcbs;
       zcores;

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Core Engine Experiments Float Gen Int64 List Net Printf QCheck QCheck_alcotest Stats Systems

@@ -19,7 +19,7 @@ let with_quiet_stdout f =
 
 let fast_targets =
   [ "fig2"; "fig8"; "fig9"; "fig10a"; "fig10b"; "table1"; "fig11"; "ablate-poll";
-    "ablate-batch"; "ext-preempt"; "ext-rebalance"; "ext-consolidate" ]
+    "ablate-batch"; "ext-preempt"; "ext-rebalance"; "ext-consolidate"; "chaos" ]
 
 let slow_targets = [ "fig3"; "fig7"; "fig6" ]
 

@@ -163,7 +163,9 @@ let test_loadgen_order_violation_detected () =
   List.iter (fun req -> Loadgen.complete gen req) !pending;
   Alcotest.(check bool) "violations detected" true (Loadgen.order_violations gen > 0)
 
-let test_loadgen_double_complete_raises () =
+let test_loadgen_double_complete_counted () =
+  (* A lossy network can deliver the same response twice; the second
+     completion must be counted, not crash the client. *)
   let sim = Sim.create () in
   let rng = Rng.create ~seed:11 in
   let gen =
@@ -177,9 +179,11 @@ let test_loadgen_double_complete_raises () =
   | None -> Alcotest.fail "no request generated"
   | Some req ->
       Loadgen.complete gen req;
-      Alcotest.check_raises "double complete"
-        (Invalid_argument "Loadgen.complete: already completed") (fun () ->
-          Loadgen.complete gen req)
+      let count = Stats.Tally.count (Loadgen.tally gen) in
+      Loadgen.complete gen req;
+      Loadgen.complete gen req;
+      Alcotest.(check int) "duplicates counted" 2 (Loadgen.duplicate_completions gen);
+      Alcotest.(check int) "tally unchanged" count (Stats.Tally.count (Loadgen.tally gen))
 
 let test_loadgen_requires_target () =
   let sim = Sim.create () in
@@ -211,7 +215,7 @@ let () =
         [
           Alcotest.test_case "rate and measurement" `Quick test_loadgen_rate_and_measurement;
           Alcotest.test_case "order violations" `Quick test_loadgen_order_violation_detected;
-          Alcotest.test_case "double complete" `Quick test_loadgen_double_complete_raises;
+          Alcotest.test_case "double complete" `Quick test_loadgen_double_complete_counted;
           Alcotest.test_case "requires target" `Quick test_loadgen_requires_target;
         ] );
     ]

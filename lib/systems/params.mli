@@ -41,7 +41,18 @@ type t = {
   zy_poll_random : bool;
       (** randomized victim order in the idle loop (§5); false = naive
           round-robin, for the `ablate-poll` ablation *)
+  stragglers : Core.Corefault.spec list;
+      (** scheduled transient slowdowns/stalls of individual worker cores,
+          applied uniformly to every system model (empty = no faults) *)
 }
+
+val validate : t -> t
+(** Returns its argument after checking every invariant: positive
+    counts/capacities, finite non-negative overheads, straggler specs
+    within range. Raises [Invalid_argument] with the offending field
+    otherwise. Every system model validates its parameters on
+    construction, so a nonsensical record fails fast instead of silently
+    producing garbage sweeps. *)
 
 val default : ?cores:int -> unit -> t
 (** Calibrated defaults for a 16-core server. *)
@@ -53,3 +64,10 @@ val with_ix_batch : t -> int -> t
 
 val with_rpc_packets : t -> int -> t
 (** Raises [Invalid_argument] when the count is < 1. *)
+
+val with_stragglers : t -> Core.Corefault.spec list -> t
+(** Replace the straggler schedule (validated against [cores]). *)
+
+val corefaults : t -> Core.Corefault.t
+(** Compiled straggler schedule for the system models;
+    {!Core.Corefault.none}-equivalent when [stragglers] is empty. *)
