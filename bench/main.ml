@@ -5,7 +5,8 @@
    Usage:
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig7 table1  -- selected targets
-     dune exec bench/main.exe -- --json       -- also write BENCH_PR2.json
+     dune exec bench/main.exe -- -j 4 fig6    -- sweep points on 4 domains
+     dune exec bench/main.exe -- --json       -- also write BENCH_PR3.json
      ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
 
 let scale =
@@ -16,11 +17,19 @@ let scale =
       | _ -> invalid_arg "ZYGOS_BENCH_SCALE must be a positive float")
   | None -> 1.0
 
+let default_jobs =
+  match Sys.getenv_opt "ZYGOS_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | _ -> invalid_arg "ZYGOS_JOBS must be a positive integer")
+  | None -> 1
+
 (* Seed-commit ns/op for the two hot-path structures this PR rewrote
    (boxed heap entries, per-record [log]): median of three Bechamel runs
    of the seed implementation under the exact bench bodies below (depth-512
    heap, varying-magnitude histogram samples), 1s quota, same machine.
-   BENCH_PR2.json reports current numbers next to these so the trajectory
+   BENCH_PR3.json reports current numbers next to these so the trajectory
    is visible without checking out the old commit. *)
 let seed_baseline_ns = [ ("engine: heap push+pop", 221.0); ("stats: histogram record", 14.4) ]
 
@@ -202,7 +211,74 @@ let micro ~scale =
       (List.sort compare
          (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows))
 
-(* ---- BENCH_PR2.json: the perf trajectory future PRs regress against ---- *)
+(* ---- sweep: sequential vs pooled wall clock on a fig6 slice ---- *)
+
+let last_sweep_parallel : (string * float) list ref = ref []
+
+let sweep_bench ~jobs ~scale =
+  let module Run = Experiments.Run in
+  let module Sweep = Experiments.Sweep in
+  (* A representative Figure 6 slice: the exp/10µs panel, 5 systems x 9
+     loads = 45 mutually independent points. *)
+  let service = Engine.Dist.exponential 10. in
+  let systems =
+    [ Run.Model_central_fcfs; Run.Linux_floating; Run.Ix 1; Run.Zygos; Run.Zygos_no_interrupts ]
+  in
+  let loads = [ 0.2; 0.35; 0.5; 0.6; 0.7; 0.8; 0.85; 0.9; 0.95 ] in
+  let points =
+    List.concat_map
+      (fun system ->
+        List.map
+          (fun load ->
+            Sweep.point
+              ~key:(Printf.sprintf "bench-sweep/%s/%g" (Run.system_name system) load)
+              (fun ~seed ->
+                let cfg =
+                  Run.config ~system ~service ~cores:16
+                    ~requests:(max 4_000 (int_of_float (25_000. *. scale)))
+                    ~seed ()
+                in
+                let p = Run.run_point cfg ~load in
+                (p.Run.throughput, p.Run.p99)))
+          loads)
+      systems
+  in
+  let workers = if jobs > 1 then jobs else Runtime.Pool.recommended_workers () in
+  let seq, seq_stats = Sweep.run_with_stats ~jobs:1 ~seed:42 points in
+  let par, par_stats = Sweep.run_with_stats ~jobs:workers ~seed:42 points in
+  let parity = seq = par in
+  let speedup =
+    if par_stats.Runtime.Pool.wall_s > 0. then
+      seq_stats.Runtime.Pool.wall_s /. par_stats.Runtime.Pool.wall_s
+    else 1.
+  in
+  Experiments.Output.print_header
+    "Sweep runner: sequential vs pooled execution (fig6 slice: exp, S = 10us)";
+  Experiments.Output.print_table
+    ~columns:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "points"; string_of_int (List.length points) ];
+        [ "workers"; string_of_int par_stats.Runtime.Pool.workers ];
+        [ "sequential wall (s)"; Printf.sprintf "%.2f" seq_stats.Runtime.Pool.wall_s ];
+        [ "pooled wall (s)"; Printf.sprintf "%.2f" par_stats.Runtime.Pool.wall_s ];
+        [ "speedup"; Printf.sprintf "%.2fx" speedup ];
+        [ "steals"; string_of_int par_stats.Runtime.Pool.steals ];
+        [ "output parity"; (if parity then "byte-identical" else "MISMATCH") ];
+      ];
+  Experiments.Output.print_pool_stats par_stats;
+  if not parity then failwith "sweep bench: pooled results differ from sequential";
+  last_sweep_parallel :=
+    [
+      ("points", float_of_int (List.length points));
+      ("workers", float_of_int par_stats.Runtime.Pool.workers);
+      ("sequential_wall_s", seq_stats.Runtime.Pool.wall_s);
+      ("pooled_wall_s", par_stats.Runtime.Pool.wall_s);
+      ("speedup", speedup);
+      ("steals", float_of_int par_stats.Runtime.Pool.steals);
+    ]
+
+(* ---- BENCH_PR3.json: the perf trajectory future PRs regress against ---- *)
 
 let write_trajectory ~path ~scale ~micro ~wall_clock =
   let open Experiments.Output.Json in
@@ -216,6 +292,17 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
         | _ -> None)
       seed_baseline_ns
   in
+  let totals = Experiments.Sweep.read_totals () in
+  let pool_totals =
+    [
+      ("sweeps", float_of_int totals.Experiments.Sweep.sweeps);
+      ("points", float_of_int totals.Experiments.Sweep.points);
+      ("steals", float_of_int totals.Experiments.Sweep.steals);
+      ("busy_s", totals.Experiments.Sweep.busy_s);
+      ("wall_s", totals.Experiments.Sweep.wall_s);
+      ("workers", float_of_int totals.Experiments.Sweep.workers);
+    ]
+  in
   let doc =
     obj
       [
@@ -225,6 +312,8 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
         ("targets_wall_clock_s", number_map wall_clock);
         ("seed_baseline_ns_per_op", number_map seed_baseline_ns);
         ("improvement_vs_seed", number_map improvements);
+        ("sweep_pool", number_map pool_totals);
+        ("sweep_parallel", number_map !last_sweep_parallel);
       ]
   in
   let oc = open_out path in
@@ -236,12 +325,40 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
 
 (* ---- target registry and driver ---- *)
 
-let targets = Experiments.Figures.all_targets @ [ ("micro", fun ~scale -> micro ~scale) ]
+let targets =
+  Experiments.Figures.all_targets
+  @ [
+      ("micro", fun ~jobs ~scale -> ignore (jobs : int); micro ~scale);
+      ("sweep", sweep_bench);
+    ]
+
+(* Consume "-j N" / "--jobs N" / "-jN" / "--jobs=N" from the argument
+   list; everything else is a target name (or --json). *)
+let parse_jobs args =
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> go j acc rest
+        | _ -> invalid_arg "-j expects a positive integer")
+    | [ ("-j" | "--jobs") ] -> invalid_arg "-j expects a positive integer"
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+        | Some j when j >= 1 -> go j acc rest
+        | _ -> invalid_arg "-j expects a positive integer")
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" -> (
+        match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+        | Some j when j >= 1 -> go j acc rest
+        | _ -> invalid_arg "--jobs expects a positive integer")
+    | a :: rest -> go jobs (a :: acc) rest
+  in
+  go default_jobs [] args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_mode = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
+  let jobs, args = parse_jobs args in
   let selected =
     match args with
     | [] | [ "all" ] -> List.map fst targets
@@ -261,16 +378,26 @@ let () =
   let selected =
     if json_mode && not (List.mem "micro" selected) then selected @ [ "micro" ] else selected
   in
-  Printf.printf "ZygOS reproduction benchmarks (scale=%g; ZYGOS_BENCH_SCALE to change)\n" scale;
+  Printf.printf
+    "ZygOS reproduction benchmarks (scale=%g, jobs=%d; ZYGOS_BENCH_SCALE / -j N to change)\n"
+    scale jobs;
+  Experiments.Sweep.reset_totals ();
   let wall_clock = ref [] in
   List.iter
     (fun name ->
       let t0 = Unix.gettimeofday () in
-      (List.assoc name targets) ~scale;
+      (List.assoc name targets) ~jobs ~scale;
       let dt = Unix.gettimeofday () -. t0 in
       if name <> "micro" then wall_clock := (name, dt) :: !wall_clock;
       Printf.printf "\n[%s done in %.1fs]\n%!" name dt)
     selected;
+  (let totals = Experiments.Sweep.read_totals () in
+   if totals.Experiments.Sweep.points > 0 then
+     Printf.eprintf
+       "[sweep pool: %d points over %d sweeps, %d steals, busy %.1fs / wall %.1fs, max %d workers]\n"
+       totals.Experiments.Sweep.points totals.Experiments.Sweep.sweeps
+       totals.Experiments.Sweep.steals totals.Experiments.Sweep.busy_s
+       totals.Experiments.Sweep.wall_s totals.Experiments.Sweep.workers);
   if json_mode then
-    write_trajectory ~path:"BENCH_PR2.json" ~scale ~micro:!last_micro_rows
+    write_trajectory ~path:"BENCH_PR3.json" ~scale ~micro:!last_micro_rows
       ~wall_clock:(List.rev !wall_clock)

@@ -1,4 +1,17 @@
-(** Plain-text table/series rendering for the benchmark harness. *)
+(** Plain-text table/series rendering for the benchmark harness.
+
+    Everything renders through one process-wide sink: stdout by default,
+    or an in-memory buffer under {!capture}. Rendering always happens in
+    the calling domain (figure render steps run after the sweep pool has
+    joined), so the sink needs no synchronization. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [Printf]-style formatting into the current sink. *)
+
+val capture : (unit -> unit) -> string
+(** [capture f] runs [f] with the sink redirected to a fresh buffer and
+    returns everything it rendered. Restores the previous sink on exit
+    (exceptions included); nests. *)
 
 val print_header : string -> unit
 (** Boxed section title. *)
@@ -11,6 +24,14 @@ val print_table : columns:string list -> rows:string list list -> unit
 val print_sim_stats : Engine.Sim.stats -> unit
 (** Table of the simulator's event-pool counters
     (scheduled/fired/cancelled/reused and pool size). *)
+
+val pool_stats_rows : Runtime.Pool.stats -> (string * float) list
+(** Sweep-pool counters as (name, value) pairs — workers, points run,
+    steals, total busy seconds, wall seconds, and busy/wall speedup —
+    for the benchmark trajectory file. *)
+
+val print_pool_stats : Runtime.Pool.stats -> unit
+(** Render {!pool_stats_rows} plus a per-domain busy-time table. *)
 
 (** Minimal JSON emission (no external dependency), used by the benchmark
     harness's [--json] trajectory file. *)

@@ -1,0 +1,81 @@
+(* Domain-parallel sweep runner with deterministic per-point seeds.
+
+   A sweep point is a key (a stable human-readable path like
+   "fig6/exp/10/zygos/0.80") plus a closure from a derived seed to the
+   point's result. The derived seed is a pure function of (master seed,
+   key) — SplitMix64 finalizer over an FNV-1a hash of the key, re-mixed
+   with the master seed — so it does not depend on the enumeration
+   order, the worker count, or the steal schedule. Results come back in
+   enumeration order; rendering happens after the join, in the calling
+   domain. Together these make parallel output byte-identical to the
+   sequential run. *)
+
+type 'a point = { key : string; run : seed:int -> 'a }
+
+let point ~key run = { key; run }
+
+(* SplitMix64 finalizer (same constants as Engine.Rng's mixer). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let point_seed ~seed ~key =
+  let golden_gamma = 0x9E3779B97F4A7C15L in
+  let z = mix64 (Int64.add (fnv1a64 key) (Int64.mul (Int64.of_int seed) golden_gamma)) in
+  (* Positive int so the seed survives printf/reparse round trips. *)
+  Int64.to_int (Int64.shift_right_logical (mix64 z) 1)
+
+(* Cumulative pool statistics across every sweep since the last reset,
+   read by the benchmark harness after its targets ran. Only touched from
+   the calling domain (the pool joins before returning). *)
+type totals = {
+  mutable sweeps : int;
+  mutable points : int;
+  mutable steals : int;
+  mutable busy_s : float;
+  mutable wall_s : float;
+  mutable workers : int;  (** max workers used by any sweep *)
+}
+
+let totals = { sweeps = 0; points = 0; steals = 0; busy_s = 0.; wall_s = 0.; workers = 1 }
+
+let reset_totals () =
+  totals.sweeps <- 0;
+  totals.points <- 0;
+  totals.steals <- 0;
+  totals.busy_s <- 0.;
+  totals.wall_s <- 0.;
+  totals.workers <- 1
+
+let read_totals () = totals
+
+let run_with_stats ?(jobs = 1) ~seed points =
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let derived = point_seed ~seed ~key:p.key in
+           fun () -> p.run ~seed:derived)
+         points)
+  in
+  let results, stats = Runtime.Pool.run ~workers:jobs ~tasks in
+  totals.sweeps <- totals.sweeps + 1;
+  totals.points <- totals.points + stats.Runtime.Pool.points;
+  totals.steals <- totals.steals + stats.Runtime.Pool.steals;
+  totals.busy_s <- totals.busy_s +. Array.fold_left ( +. ) 0. stats.Runtime.Pool.busy_s;
+  totals.wall_s <- totals.wall_s +. stats.Runtime.Pool.wall_s;
+  totals.workers <- max totals.workers stats.Runtime.Pool.workers;
+  (Array.to_list results, stats)
+
+let run ?jobs ~seed points = fst (run_with_stats ?jobs ~seed points)

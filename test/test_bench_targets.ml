@@ -23,14 +23,15 @@ let fast_targets =
 
 let slow_targets = [ "fig3"; "fig7"; "fig6" ]
 
-let run_target name =
+let run_target ?(jobs = 1) name =
   match List.assoc_opt name Experiments.Figures.all_targets with
   | None -> Alcotest.failf "target %s missing from registry" name
-  | Some f -> with_quiet_stdout (fun () -> f ~scale:0.01)
+  | Some f -> with_quiet_stdout (fun () -> f ~jobs ~scale:0.01)
 
-let test_fast_targets () = List.iter run_target fast_targets
+(* jobs:2 so every fast target also exercises the pooled path. *)
+let test_fast_targets () = List.iter (run_target ~jobs:2) fast_targets
 
-let test_slow_targets () = List.iter run_target slow_targets
+let test_slow_targets () = List.iter (run_target ~jobs:1) slow_targets
 
 let test_registry_complete () =
   let names = List.map fst Experiments.Figures.all_targets in

@@ -1,0 +1,113 @@
+(* Perf-regression guard for the PR 1 allocation-free engine hot path.
+
+   Two invariants, asserted on a warmed-up steady-state window so pool
+   growth and closure creation are excluded:
+
+   - the engine's schedule/fire cycle allocates ~nothing on the minor
+     heap (the only sanctioned per-event allocation is a caller-supplied
+     closure, and the steady-state loop below reuses one closure);
+   - the event pool recycles its slots: [reused / scheduled] approaches 1
+     and [pool_slots] stays at the high-water mark of concurrently
+     pending events.
+
+   If either drifts, the SoA-heap/pooled-event rewrite has silently
+   regressed into an allocating path.
+
+   The measured steady-state floor on non-flambda OCaml is 4 minor
+   words/event: two transient float boxes (the [at] argument built in
+   [schedule_after], and the boxed min-time return consumed by [step])
+   that cross-module float passing always costs. The bound below sits
+   just above that floor — any pooled-record regression (the seed's
+   boxed events were tens of words/event) trips it immediately. *)
+
+let words_per_event_bound = 6.0
+
+module Sim = Engine.Sim
+
+let test_minor_words_per_event () =
+  let sim = Sim.create () in
+  (* One self-rescheduling closure: steady state with a single pending
+     event, exercising schedule + heap sift + fire on every step. *)
+  let rec tick () = ignore (Sim.schedule_after sim ~delay:1.0 tick : Sim.handle) in
+  tick ();
+  for _ = 1 to 1_000 do
+    ignore (Sim.step sim : bool)
+  done;
+  let events = 50_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to events do
+    ignore (Sim.step sim : bool)
+  done;
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int events in
+  if per_event > words_per_event_bound then
+    Alcotest.failf "steady-state Sim allocates %.2f minor words/event (want <= %g)"
+      per_event words_per_event_bound
+
+let test_deep_heap_minor_words () =
+  (* Same guard at depth 512 (a realistic pending-event population), so a
+     regression in the heap's sift path can't hide behind a depth-1 run. *)
+  let sim = Sim.create () in
+  let rec tick () = ignore (Sim.schedule_after sim ~delay:512.0 tick : Sim.handle) in
+  for _ = 1 to 512 do
+    tick ()
+  done;
+  for _ = 1 to 2_048 do
+    ignore (Sim.step sim : bool)
+  done;
+  let events = 50_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to events do
+    ignore (Sim.step sim : bool)
+  done;
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int events in
+  if per_event > words_per_event_bound then
+    Alcotest.failf "deep-heap Sim allocates %.2f minor words/event (want <= %g)"
+      per_event words_per_event_bound
+
+let test_pool_reuse_ratio () =
+  let sim = Sim.create () in
+  let rec tick () = ignore (Sim.schedule_after sim ~delay:1.0 tick : Sim.handle) in
+  for _ = 1 to 64 do
+    tick ()
+  done;
+  for _ = 1 to 100_000 do
+    ignore (Sim.step sim : bool)
+  done;
+  let s = Sim.stats sim in
+  let ratio = float_of_int s.Sim.reused /. float_of_int s.Sim.scheduled in
+  if ratio < 0.99 then
+    Alcotest.failf "pool reuse ratio %.4f (reused %d / scheduled %d), want >= 0.99" ratio
+      s.Sim.reused s.Sim.scheduled;
+  if s.Sim.pool_slots > 128 then
+    Alcotest.failf "pool grew to %d slots for 64 concurrent events" s.Sim.pool_slots
+
+let test_end_to_end_reuse_ratio () =
+  (* The same invariant through the full stack: a ZygOS point's event
+     pool must serve almost every schedule from the free list. *)
+  let cfg =
+    Experiments.Run.config ~cores:4 ~conns:64 ~requests:4_000 ~seed:11
+      ~system:Experiments.Run.Zygos ~service:(Engine.Dist.exponential 10.) ()
+  in
+  let p = Experiments.Run.run_point cfg ~load:0.7 in
+  let get key = Option.value ~default:0. (List.assoc_opt key p.Experiments.Run.info) in
+  let scheduled = get "sim_events_scheduled" and reused = get "sim_events_reused" in
+  if scheduled <= 0. then Alcotest.fail "no events scheduled";
+  let ratio = reused /. scheduled in
+  if ratio < 0.9 then
+    Alcotest.failf "end-to-end reuse ratio %.4f (reused %g / scheduled %g), want >= 0.9"
+      ratio reused scheduled
+
+let () =
+  Alcotest.run "perf-guard"
+    [
+      ( "allocation-free hot path",
+        [
+          Alcotest.test_case "steady-state minor words/event ~ 0" `Quick
+            test_minor_words_per_event;
+          Alcotest.test_case "depth-512 minor words/event ~ 0" `Quick
+            test_deep_heap_minor_words;
+          Alcotest.test_case "event-pool reuse ratio ~ 1" `Quick test_pool_reuse_ratio;
+          Alcotest.test_case "zygos point reuse ratio >= 0.9" `Quick
+            test_end_to_end_reuse_ratio;
+        ] );
+    ]
