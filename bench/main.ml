@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig7 table1  -- selected targets
      dune exec bench/main.exe -- -j 4 fig6    -- sweep points on 4 domains
-     dune exec bench/main.exe -- --json       -- also write BENCH_PR3.json
+     dune exec bench/main.exe -- --json       -- also write BENCH_PR4.json
      ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
 
 let scale =
@@ -29,9 +29,26 @@ let default_jobs =
    (boxed heap entries, per-record [log]): median of three Bechamel runs
    of the seed implementation under the exact bench bodies below (depth-512
    heap, varying-magnitude histogram samples), 1s quota, same machine.
-   BENCH_PR3.json reports current numbers next to these so the trajectory
+   BENCH_PR4.json reports current numbers next to these so the trajectory
    is visible without checking out the old commit. *)
 let seed_baseline_ns = [ ("engine: heap push+pop", 221.0); ("stats: histogram record", 14.4) ]
+
+(* PR 3's BENCH_PR3.json numbers for the engine hot-path benches this PR
+   (closure-free dispatch + timing wheel) targets, same machine and
+   quota (re-verified against a PR-3 checkout on the current machine:
+   87.5 / 105.0); BENCH_PR4.json reports the improvement against these.
+   The wheel and schedule_fn rows are keyed to the PR-3 numbers of what
+   they replace on the hot path: the wheel supersedes the heap as the
+   default queue, and the closure-free cycle supersedes the closure
+   cycle at every converted call site, so those pairs are the
+   before/after of the same simulator operation. *)
+let pr3_baseline_ns =
+  [
+    ("engine: heap push+pop", 105.187);
+    ("engine: wheel push+pop", 105.187);
+    ("sim: schedule+cancel+fire cycle", 88.0986);
+    ("sim: schedule_fn+cancel+fire cycle", 88.0986);
+  ]
 
 (* ---- Bechamel microbenchmarks ---- *)
 
@@ -61,10 +78,36 @@ let micro_tests () =
         ignore (Engine.Heap.min_elt heap : int);
         Engine.Heap.drop_min heap)
   in
+  let wheel_bench =
+    (* The same steady-state body as the heap bench, on the timing wheel:
+       depth 512, rotating key, so the two ns/op numbers are directly
+       comparable. *)
+    let wheel = Engine.Wheel.create ~dummy:0 () in
+    let () =
+      for i = 1 to 512 do
+        Engine.Wheel.add wheel ~time:(float_of_int (i * 7 mod 512)) 0
+      done
+    in
+    let counter = ref 0 in
+    let base = ref 0 in
+    one "engine: wheel push+pop" (fun () ->
+        incr counter;
+        (* The wheel's clock only moves forward; rebase the rotating key on
+           the current minimum instead of wrapping to absolute time. *)
+        if !counter land 511 = 0 then
+          base := int_of_float (Engine.Wheel.min_time wheel);
+        Engine.Wheel.add wheel
+          ~time:(float_of_int (!base + (!counter * 7 mod 512)))
+          0;
+        ignore (Engine.Wheel.min_elt wheel : int);
+        Engine.Wheel.drop_min wheel)
+  in
   let sim_cycle_bench =
     (* Steady-state engine cycle: two schedules, one cancel, one fire (the
        fire also skips the previous iteration's cancelled entry), touching
-       the pool free list and the heap without allocating. *)
+       the pool free list and the queue without allocating. Runs on the
+       default queue (the wheel); PR 3's number for this bench ran the
+       heap. *)
     let sim = Engine.Sim.create () in
     let noop () = () in
     one "sim: schedule+cancel+fire cycle" (fun () ->
@@ -73,6 +116,32 @@ let micro_tests () =
         Engine.Sim.cancel sim h2;
         ignore (Engine.Sim.step sim : bool))
   in
+  let sim_fn_cycle_bench =
+    (* The same cycle through the closure-free API: no closure built per
+       schedule, payload carried in the pool's int array. *)
+    let sim = Engine.Sim.create () in
+    let noop_fn (_ : int) = () in
+    one "sim: schedule_fn+cancel+fire cycle" (fun () ->
+        let _h1 : Engine.Sim.handle = Engine.Sim.schedule_fn_after sim ~delay:1.0 noop_fn 0 in
+        let h2 = Engine.Sim.schedule_fn_after sim ~delay:2.0 noop_fn 0 in
+        Engine.Sim.cancel sim h2;
+        ignore (Engine.Sim.step sim : bool))
+  in
+  let sim_deep kind name =
+    (* Depth-512 self-rescheduling cohort (every event re-arms itself 512
+       µs out): the queue discipline dominates, so this is where heap
+       sift-depth and wheel bucketing actually separate. *)
+    let sim = Engine.Sim.create ~queue:kind () in
+    let rec fn _ = ignore (Engine.Sim.schedule_fn_after sim ~delay:512.0 fn 0 : Engine.Sim.handle) in
+    let () =
+      for _ = 1 to 512 do
+        fn 0
+      done
+    in
+    one name (fun () -> ignore (Engine.Sim.step sim : bool))
+  in
+  let sim_deep_heap_bench = sim_deep Engine.Equeue.Heap "sim: depth-512 fn step (heap)" in
+  let sim_deep_wheel_bench = sim_deep Engine.Equeue.Wheel "sim: depth-512 fn step (wheel)" in
   let experiments_bench =
     (* End-to-end cost per simulated request: a tiny ZygOS point (the
        paper's default sweep config at scale 0.05) amortized over its
@@ -163,7 +232,11 @@ let micro_tests () =
   in
   [
     heap_bench;
+    wheel_bench;
     sim_cycle_bench;
+    sim_fn_cycle_bench;
+    sim_deep_heap_bench;
+    sim_deep_wheel_bench;
     experiments_bench;
     rss_bench;
     tally_bench;
@@ -210,6 +283,123 @@ let micro ~scale =
     ~rows:
       (List.sort compare
          (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows))
+
+(* ---- equeue: heap vs wheel at 1e3..1e6 pending events ---- *)
+
+let last_equeue : (string * float) list ref = ref []
+
+let equeue_bench ~jobs ~scale =
+  ignore (jobs : int);
+  let module E = Engine.Equeue in
+  (* 1. Pop-order identity: both back ends must produce the same (time,
+     seqno) pop sequence for an adversarial interleaving of adds and pops
+     (duplicate times, past adds, far-future cascade targets). *)
+  let assert_parity () =
+    let rng = Engine.Rng.create ~seed:99 in
+    let heap = E.create E.Heap and wheel = E.create E.Wheel in
+    let n = 20_000 in
+    let clock = ref 0. in
+    for i = 0 to n - 1 do
+      let t =
+        match Engine.Rng.int rng 10 with
+        | 0 -> !clock (* tie with the current minimum *)
+        | 1 -> !clock +. 1e7 (* far future: multi-level cascade *)
+        | 2 -> !clock +. (float_of_int (Engine.Rng.int rng 1000) /. 16.) (* sub-us ties *)
+        | _ -> !clock +. float_of_int (Engine.Rng.int rng 4096)
+      in
+      E.add heap ~time:t i;
+      E.add wheel ~time:t i;
+      if Engine.Rng.int rng 3 = 0 then begin
+        let th = E.min_time heap and tw = E.min_time wheel in
+        let vh = E.min_elt heap and vw = E.min_elt wheel in
+        if th <> tw || vh <> vw then
+          failwith
+            (Printf.sprintf "equeue parity: heap (%g, %d) <> wheel (%g, %d)" th vh tw vw);
+        E.drop_min heap;
+        E.drop_min wheel;
+        clock := th
+      end
+    done;
+    while not (E.is_empty heap) do
+      let th = E.min_time heap and tw = E.min_time wheel in
+      let vh = E.min_elt heap and vw = E.min_elt wheel in
+      if th <> tw || vh <> vw then
+        failwith (Printf.sprintf "equeue parity: heap (%g, %d) <> wheel (%g, %d)" th vh tw vw);
+      E.drop_min heap;
+      E.drop_min wheel
+    done;
+    if not (E.is_empty wheel) then failwith "equeue parity: wheel longer than heap"
+  in
+  assert_parity ();
+  (* 2. Raw push+pop ns/op at growing pending-set sizes: the heap pays
+     O(log n) sifts, the wheel O(1) bucket ops. Rotating relative delays
+     keep the insert depth varied. *)
+  let ops = max 200_000 (int_of_float (2e6 *. scale)) in
+  let raw kind n =
+    let q = E.create ~capacity:n kind in
+    for i = 1 to n do
+      E.add q ~time:(float_of_int (i * 7 mod n)) 0
+    done;
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to ops do
+      let m = E.min_time q in
+      ignore (E.min_elt q : int);
+      E.drop_min q;
+      E.add q ~time:(m +. float_of_int (i * 7 mod n)) 0
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    E.clear q;
+    dt /. float_of_int ops *. 1e9
+  in
+  (* 3. Schedule+cancel+fire through Sim at depth n, per dispatch API:
+     the cancel path exercises lazy deletion in both queues. *)
+  let sim_cycle kind ~fn_api n =
+    let sim = Engine.Sim.create ~queue:kind () in
+    let noop () = () in
+    let noop_fn (_ : int) = () in
+    let rec keepalive _ =
+      ignore (Engine.Sim.schedule_fn_after sim ~delay:(float_of_int n) keepalive 0 : Engine.Sim.handle)
+    in
+    for _ = 1 to n do
+      keepalive 0
+    done;
+    let cycles = max 1 (ops / 4) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to cycles do
+      let h =
+        if fn_api then Engine.Sim.schedule_fn_after sim ~delay:2.0 noop_fn 0
+        else Engine.Sim.schedule_after sim ~delay:2.0 noop
+      in
+      Engine.Sim.cancel sim h;
+      ignore (Engine.Sim.step sim : bool)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    dt /. float_of_int cycles *. 1e9
+  in
+  let sizes =
+    if scale >= 0.5 then [ 1_000; 10_000; 100_000; 1_000_000 ]
+    else [ 1_000; 10_000; 100_000 ]
+  in
+  let rows = ref [] in
+  let record name v = rows := (name, v) :: !rows in
+  List.iter
+    (fun n ->
+      let h = raw E.Heap n and w = raw E.Wheel n in
+      record (Printf.sprintf "heap push+pop @%d" n) h;
+      record (Printf.sprintf "wheel push+pop @%d" n) w)
+    sizes;
+  let d = 512 in
+  record "sim closure cycle @512 (heap)" (sim_cycle E.Heap ~fn_api:false d);
+  record "sim closure cycle @512 (wheel)" (sim_cycle E.Wheel ~fn_api:false d);
+  record "sim schedule_fn cycle @512 (heap)" (sim_cycle E.Heap ~fn_api:true d);
+  record "sim schedule_fn cycle @512 (wheel)" (sim_cycle E.Wheel ~fn_api:true d);
+  let rows = List.rev !rows in
+  last_equeue := rows;
+  Experiments.Output.print_header
+    "Event queue: heap vs timing wheel (pop-order parity asserted, ns per op)";
+  Experiments.Output.print_table
+    ~columns:[ "benchmark"; "ns/op" ]
+    ~rows:(List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows)
 
 (* ---- sweep: sequential vs pooled wall clock on a fig6 slice ---- *)
 
@@ -278,20 +468,22 @@ let sweep_bench ~jobs ~scale =
       ("steals", float_of_int par_stats.Runtime.Pool.steals);
     ]
 
-(* ---- BENCH_PR3.json: the perf trajectory future PRs regress against ---- *)
+(* ---- BENCH_PR4.json: the perf trajectory future PRs regress against ---- *)
 
 let write_trajectory ~path ~scale ~micro ~wall_clock =
   let open Experiments.Output.Json in
   let number_map kvs = obj (List.map (fun (k, v) -> (k, num v)) kvs) in
-  let improvements =
+  let improve_against baseline =
     List.filter_map
-      (fun (name, seed_ns) ->
+      (fun (name, base_ns) ->
         match List.assoc_opt name micro with
         | Some now_ns when Float.is_finite now_ns && now_ns > 0. ->
-            Some (name, (seed_ns -. now_ns) /. seed_ns)
+            Some (name, (base_ns -. now_ns) /. base_ns)
         | _ -> None)
-      seed_baseline_ns
+      baseline
   in
+  let improvements = improve_against seed_baseline_ns in
+  let improvements_pr3 = improve_against pr3_baseline_ns in
   let totals = Experiments.Sweep.read_totals () in
   let pool_totals =
     [
@@ -312,6 +504,9 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
         ("targets_wall_clock_s", number_map wall_clock);
         ("seed_baseline_ns_per_op", number_map seed_baseline_ns);
         ("improvement_vs_seed", number_map improvements);
+        ("pr3_baseline_ns_per_op", number_map pr3_baseline_ns);
+        ("improvement_vs_pr3", number_map improvements_pr3);
+        ("equeue_ns_per_op", number_map !last_equeue);
         ("sweep_pool", number_map pool_totals);
         ("sweep_parallel", number_map !last_sweep_parallel);
       ]
@@ -329,6 +524,7 @@ let targets =
   Experiments.Figures.all_targets
   @ [
       ("micro", fun ~jobs ~scale -> ignore (jobs : int); micro ~scale);
+      ("equeue", equeue_bench);
       ("sweep", sweep_bench);
     ]
 
@@ -378,6 +574,9 @@ let () =
   let selected =
     if json_mode && not (List.mem "micro" selected) then selected @ [ "micro" ] else selected
   in
+  let selected =
+    if json_mode && not (List.mem "equeue" selected) then selected @ [ "equeue" ] else selected
+  in
   Printf.printf
     "ZygOS reproduction benchmarks (scale=%g, jobs=%d; ZYGOS_BENCH_SCALE / -j N to change)\n"
     scale jobs;
@@ -399,5 +598,5 @@ let () =
        totals.Experiments.Sweep.steals totals.Experiments.Sweep.busy_s
        totals.Experiments.Sweep.wall_s totals.Experiments.Sweep.workers);
   if json_mode then
-    write_trajectory ~path:"BENCH_PR3.json" ~scale ~micro:!last_micro_rows
+    write_trajectory ~path:"BENCH_PR4.json" ~scale ~micro:!last_micro_rows
       ~wall_clock:(List.rev !wall_clock)

@@ -13,10 +13,12 @@
 
 let usage () =
   Printf.eprintf
-    "usage: zygos [TARGET...] [-j N] [--scale S]\n\
+    "usage: zygos [TARGET...] [-j N] [--scale S] [--equeue heap|wheel]\n\
      \  TARGET   one of: %s (default: all)\n\
      \  -j N     run sweep points on N domains (default 1; also ZYGOS_JOBS)\n\
-     \  --scale S  request-budget multiplier (default 1.0; also ZYGOS_BENCH_SCALE)\n"
+     \  --scale S  request-budget multiplier (default 1.0; also ZYGOS_BENCH_SCALE)\n\
+     \  --equeue Q  event-queue back end: heap or wheel (default wheel; also\n\
+     \              ZYGOS_EQUEUE; output is byte-identical either way)\n"
     (String.concat " " (List.map fst Experiments.Figures.all_targets));
   exit 1
 
@@ -58,6 +60,14 @@ let () =
             scale := s;
             parse rest
         | _ -> usage ())
+    | "--equeue" :: v :: rest -> (
+        (* before any sweep spawns pool workers: every Sim.create () in
+           every domain then picks this back end *)
+        match Engine.Equeue.kind_of_string v with
+        | Some k ->
+            Engine.Sim.set_default_queue k;
+            parse rest
+        | None -> usage ())
     | ("-h" | "--help") :: _ -> usage ()
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
         match int_of_string_opt (String.sub a 2 (String.length a - 2)) with

@@ -16,6 +16,7 @@ type 'a t = {
   mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  kbuf : float array;  (* one-element scratch backing [add]'s key, see [add_key] *)
   dummy : 'a;
 }
 
@@ -27,6 +28,7 @@ let create ?(capacity = 64) ~dummy () =
     values = Array.make capacity dummy;
     size = 0;
     next_seq = 0;
+    kbuf = [| 0. |];
     dummy;
   }
 
@@ -46,7 +48,13 @@ let grow t =
   t.seqs <- seqs;
   t.values <- values
 
-let add t ~time value =
+(* The key arrives in [buf.(0)] rather than as a float argument: without
+   flambda a float crossing a function boundary is boxed at the caller,
+   so the simulator's schedule path hands its (clock + delay) key over
+   through a flat one-element array and steady-state adds allocate
+   nothing. [add] below keeps the ergonomic labelled-argument form. *)
+let add_key t buf value =
+  let time = Array.unsafe_get buf 0 in
   if t.size = Array.length t.times then grow t;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -70,6 +78,10 @@ let add t ~time value =
   Array.unsafe_set times !i time;
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set values !i value
+
+let add t ~time value =
+  Array.unsafe_set t.kbuf 0 time;
+  add_key t t.kbuf value
 
 let min_time t = if t.size = 0 then infinity else Array.unsafe_get t.times 0
 
@@ -118,6 +130,15 @@ let drop_min t =
       Array.unsafe_set values !i value
     end
   end
+
+(* Pop the minimum, writing its time into [buf.(0)] (flat store — no
+   boxed-float return) and returning its payload. The heap must be
+   non-empty; the caller checks [is_empty] first. *)
+let pop_into t buf =
+  Array.unsafe_set buf 0 (Array.unsafe_get t.times 0);
+  let v = Array.unsafe_get t.values 0 in
+  drop_min t;
+  v
 
 let pop_min t =
   if t.size = 0 then None

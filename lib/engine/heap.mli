@@ -23,6 +23,12 @@ val add : 'a t -> time:float -> 'a -> unit
 (** Insert an element with the given priority. O(log n), allocation-free
     unless the backing arrays must grow. *)
 
+val add_key : 'a t -> float array -> 'a -> unit
+(** [add] with the key passed in [buf.(0)] instead of a float argument:
+    a float crossing a non-inlined call is boxed at the caller, so the
+    simulator's schedule path hands the key over through a flat
+    one-element array. The buffer is read before the call returns. *)
+
 val min_time : 'a t -> float
 (** Time of the earliest element, [infinity] when empty. Never allocates. *)
 
@@ -33,6 +39,11 @@ val drop_min : 'a t -> unit
 (** Remove the earliest element (no-op when empty). O(log n),
     allocation-free. Peek-then-drop via {!min_time}/{!min_elt} is the
     non-allocating equivalent of {!pop_min}. *)
+
+val pop_into : 'a t -> float array -> 'a
+(** Remove the earliest element, writing its time into [buf.(0)] and
+    returning its payload — the allocation-free dual of {!add_key}. The
+    heap must be non-empty (unchecked); callers test {!is_empty} first. *)
 
 val pop_min : 'a t -> (float * 'a) option
 (** Remove and return the earliest element (smallest time, then earliest

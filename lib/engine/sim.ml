@@ -5,7 +5,33 @@
    stack, so steady-state scheduling recycles slots instead of allocating,
    and a stale handle (fired or cancelled event, possibly with the slot
    since reused) can never touch the wrong event: its packed generation no
-   longer matches the slot's. *)
+   longer matches the slot's.
+
+   Dispatch comes in two flavours per slot: a closure ([actions]) or a
+   long-lived function plus an immediate int payload ([fns]/[iargs]).
+   The closure path allocates the closure per schedule; the fn path
+   allocates nothing, which is what the hot call sites in the system
+   models use. A slot is a fn-slot iff its [fns] entry is not the
+   [noop_fn] sentinel (physical equality).
+
+   Hot-path notes. Both [actions] and [fns] are pointer arrays, so every
+   store pays a write barrier; schedule and release therefore skip stores
+   whose value is already in place (steady state reuses a slot for the
+   same pre-bound fn, turning the store into a read + compare). Only
+   closure slots are scrubbed on release — retaining a top-level fn or a
+   stale int payload is harmless, retaining a closure is a space leak.
+   The clock lives in a one-element float array: a mutable float field of
+   a mixed record is a boxed pointer, so advancing it would allocate a
+   fresh box per event, while a flat array stores the bits in place.
+   Unsafe array accesses are confined to indices bounded by [t.fresh]
+   (<= capacity of every pool array) or produced by [alloc_slot].
+
+   The queue is an {!Equeue}: the SoA binary heap or the hierarchical
+   timing wheel, selected per-simulation ([create ?queue]), process-wide
+   ([set_default_queue], the CLI's [--equeue]) or via the ZYGOS_EQUEUE
+   environment variable. Both pop in identical (time, seqno) order, so
+   the choice never affects simulation output. The step loop matches on
+   the back end once and calls {!Heap}/{!Wheel} directly. *)
 
 type handle = int
 
@@ -18,14 +44,22 @@ type stats = {
   cancelled : int;
   reused : int;
   pool_slots : int;
+  live : int;
 }
 
 let noop () = ()
 
+(* Sentinel for "this slot dispatches through [actions]"; compared with
+   physical equality, so user fns are never misread as the sentinel. *)
+let noop_fn (_ : int) = ()
+
 type t = {
-  mutable clock : float;
-  queue : handle Heap.t;
+  clock : float array; (* one element; flat storage, see header comment *)
+  tbuf : float array; (* one element; carries event times to/from the queue *)
+  queue : Equeue.t;
   mutable actions : (unit -> unit) array;
+  mutable fns : (int -> unit) array;
+  mutable iargs : int array;
   mutable gens : int array;
   mutable free : int array;  (* stack of recyclable slots *)
   mutable free_top : int;
@@ -36,11 +70,35 @@ type t = {
   mutable n_reused : int;
 }
 
-let create () =
+(* Queue-kind selection: explicit [?queue] beats [set_default_queue]
+   beats ZYGOS_EQUEUE beats the built-in default (wheel — goldens are
+   bit-identical to the heap's, see test/test_equeue.ml). *)
+let forced_default : Equeue.kind option ref = ref None
+
+let set_default_queue kind = forced_default := Some kind
+
+let default_queue () =
+  match !forced_default with
+  | Some k -> k
+  | None -> (
+      match Sys.getenv_opt "ZYGOS_EQUEUE" with
+      | None | Some "" -> Equeue.Wheel
+      | Some s -> (
+          match Equeue.kind_of_string s with
+          | Some k -> k
+          | None ->
+              invalid_arg
+                (Printf.sprintf "ZYGOS_EQUEUE=%s: expected \"heap\" or \"wheel\"" s)))
+
+let create ?queue () =
+  let kind = match queue with Some k -> k | None -> default_queue () in
   {
-    clock = 0.;
-    queue = Heap.create ~dummy:0 ();
+    clock = [| 0. |];
+    tbuf = [| 0. |];
+    queue = Equeue.create ~dummy:0 kind;
     actions = Array.make 64 noop;
+    fns = Array.make 64 noop_fn;
+    iargs = Array.make 64 0;
     gens = Array.make 64 0;
     free = Array.make 64 0;
     free_top = 0;
@@ -51,7 +109,9 @@ let create () =
     n_reused = 0;
   }
 
-let now t = t.clock
+let now t = Array.unsafe_get t.clock 0
+
+let queue_kind t = Equeue.kind t.queue
 
 let grow_pool t =
   let cap = Array.length t.actions in
@@ -59,84 +119,159 @@ let grow_pool t =
     failwith "Sim: event pool exceeded 2^24 concurrent events";
   let new_cap = min (2 * cap) (slot_mask + 1) in
   let actions = Array.make new_cap noop in
+  let fns = Array.make new_cap noop_fn in
+  let iargs = Array.make new_cap 0 in
   let gens = Array.make new_cap 0 in
   let free = Array.make new_cap 0 in
   Array.blit t.actions 0 actions 0 cap;
+  Array.blit t.fns 0 fns 0 cap;
+  Array.blit t.iargs 0 iargs 0 cap;
   Array.blit t.gens 0 gens 0 cap;
   Array.blit t.free 0 free 0 t.free_top;
   t.actions <- actions;
+  t.fns <- fns;
+  t.iargs <- iargs;
   t.gens <- gens;
   t.free <- free
 
+(* Scrub only what can leak: a closure slot drops its closure; a fn slot
+   keeps its (top-level, long-lived) fn and int payload, so releasing it
+   writes nothing through the barrier. *)
 let release_slot t slot =
-  t.gens.(slot) <- t.gens.(slot) + 1;
-  t.actions.(slot) <- noop;
-  t.free.(t.free_top) <- slot;
+  Array.unsafe_set t.gens slot (Array.unsafe_get t.gens slot + 1);
+  if Array.unsafe_get t.actions slot != noop then Array.unsafe_set t.actions slot noop;
+  Array.unsafe_set t.free t.free_top slot;
   t.free_top <- t.free_top + 1
 
-let schedule t ~at action =
-  if at < t.clock then
-    invalid_arg
-      (Printf.sprintf "Sim.schedule: at %g is in the past (now %g)" at t.clock);
-  let slot =
-    if t.free_top > 0 then begin
-      t.free_top <- t.free_top - 1;
-      t.n_reused <- t.n_reused + 1;
-      t.free.(t.free_top)
-    end
-    else begin
-      if t.fresh = Array.length t.actions then grow_pool t;
-      let s = t.fresh in
-      t.fresh <- s + 1;
-      s
-    end
-  in
-  t.actions.(slot) <- action;
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.n_reused <- t.n_reused + 1;
+    Array.unsafe_get t.free t.free_top
+  end
+  else begin
+    if t.fresh = Array.length t.actions then grow_pool t;
+    let s = t.fresh in
+    t.fresh <- s + 1;
+    s
+  end
+
+(* Slot setup minus the float plumbing (the [at] key stays in the caller
+   so each schedule boxes it exactly once, at the queue-add call). *)
+let prep_action t action =
+  let slot = alloc_slot t in
+  if Array.unsafe_get t.actions slot != action then Array.unsafe_set t.actions slot action;
+  if Array.unsafe_get t.fns slot != noop_fn then Array.unsafe_set t.fns slot noop_fn;
   t.n_scheduled <- t.n_scheduled + 1;
-  let h = (t.gens.(slot) lsl slot_bits) lor slot in
-  Heap.add t.queue ~time:at h;
+  (Array.unsafe_get t.gens slot lsl slot_bits) lor slot
+
+let prep_fn t fn iarg =
+  let slot = alloc_slot t in
+  if Array.unsafe_get t.fns slot != fn then Array.unsafe_set t.fns slot fn;
+  Array.unsafe_set t.iargs slot iarg;
+  t.n_scheduled <- t.n_scheduled + 1;
+  (Array.unsafe_get t.gens slot lsl slot_bits) lor slot
+
+(* Enqueue the slot whose key the caller stored in [t.tbuf]: the time
+   travels to the queue through the flat buffer ({!Heap.add_key}), so a
+   steady-state schedule allocates nothing at all. *)
+let enqueue_key t h =
+  match t.queue with
+  | Equeue.H hp -> Heap.add_key hp t.tbuf h
+  | Equeue.W w -> Wheel.add_key w t.tbuf h
+
+let schedule t ~at action =
+  if at < Array.unsafe_get t.clock 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: at %g is in the past (now %g)" at
+         (Array.unsafe_get t.clock 0));
+  Array.unsafe_set t.tbuf 0 at;
+  let h = prep_action t action in
+  enqueue_key t h;
   h
 
 let schedule_after t ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) action
+  Array.unsafe_set t.tbuf 0 (Array.unsafe_get t.clock 0 +. delay);
+  let h = prep_action t action in
+  enqueue_key t h;
+  h
+
+let schedule_fn t ~at fn iarg =
+  if at < Array.unsafe_get t.clock 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_fn: at %g is in the past (now %g)" at
+         (Array.unsafe_get t.clock 0));
+  Array.unsafe_set t.tbuf 0 at;
+  let h = prep_fn t fn iarg in
+  enqueue_key t h;
+  h
+
+let schedule_fn_after t ~delay fn iarg =
+  if delay < 0. then invalid_arg "Sim.schedule_fn_after: negative delay";
+  Array.unsafe_set t.tbuf 0 (Array.unsafe_get t.clock 0 +. delay);
+  let h = prep_fn t fn iarg in
+  enqueue_key t h;
+  h
 
 let cancel t h =
   let slot = h land slot_mask in
   let gen = h lsr slot_bits in
-  if slot < t.fresh && t.gens.(slot) = gen then begin
+  (* [slot < t.fresh] guards stale handles from before a [clear]-style
+     reset as well as forged ones; past it, unsafe access is in bounds. *)
+  if slot < t.fresh && Array.unsafe_get t.gens slot = gen then begin
     release_slot t slot;
     t.n_cancelled <- t.n_cancelled + 1
   end
 
-let pending t = Heap.length t.queue
+let pending t = Equeue.length t.queue
 
-let rec step t =
-  if Heap.is_empty t.queue then false
+let live t = t.n_scheduled - t.n_fired - t.n_cancelled
+
+(* Fire the event behind [h] (whose time the pop left in [t.tbuf]), or
+   skip it if its generation is stale (cancelled); returns false only
+   from [step] recursing on an empty queue. The clock only advances on
+   an actual fire, and is copied flat from [tbuf] before the callback
+   runs (which may overwrite [tbuf] by scheduling). *)
+let rec dispatch t h =
+  let slot = h land slot_mask in
+  let gen = h lsr slot_bits in
+  if Array.unsafe_get t.gens slot <> gen then step t (* cancelled; slot recycled *)
   else begin
-    let time = Heap.min_time t.queue in
-    let h = Heap.min_elt t.queue in
-    Heap.drop_min t.queue;
-    let slot = h land slot_mask in
-    let gen = h lsr slot_bits in
-    if t.gens.(slot) <> gen then step t (* cancelled; slot already recycled *)
-    else begin
-      let action = t.actions.(slot) in
+    let fn = Array.unsafe_get t.fns slot in
+    if fn != noop_fn then begin
+      (* read the payload before releasing: the fn may reschedule into
+         this very slot *)
+      let iarg = Array.unsafe_get t.iargs slot in
       release_slot t slot;
       t.n_fired <- t.n_fired + 1;
-      t.clock <- time;
-      action ();
-      true
+      Array.unsafe_set t.clock 0 (Array.unsafe_get t.tbuf 0);
+      fn iarg
     end
+    else begin
+      let action = Array.unsafe_get t.actions slot in
+      release_slot t slot;
+      t.n_fired <- t.n_fired + 1;
+      Array.unsafe_set t.clock 0 (Array.unsafe_get t.tbuf 0);
+      action ()
+    end;
+    true
   end
+
+and step t =
+  match t.queue with
+  | Equeue.H hp ->
+      if Heap.is_empty hp then false else dispatch t (Heap.pop_into hp t.tbuf)
+  | Equeue.W w ->
+      if Wheel.is_empty w then false else dispatch t (Wheel.pop_into w t.tbuf)
 
 let run t = while step t do () done
 
 let run_until t horizon =
-  while (not (Heap.is_empty t.queue)) && Heap.min_time t.queue <= horizon do
+  while (not (Equeue.is_empty t.queue)) && Equeue.min_time t.queue <= horizon do
     ignore (step t : bool)
   done;
-  if horizon > t.clock then t.clock <- horizon
+  if horizon > Array.unsafe_get t.clock 0 then Array.unsafe_set t.clock 0 horizon
 
 let stats t =
   {
@@ -145,4 +280,5 @@ let stats t =
     cancelled = t.n_cancelled;
     reused = t.n_reused;
     pool_slots = t.fresh;
+    live = live t;
   }

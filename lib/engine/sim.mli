@@ -7,17 +7,23 @@
 
     The hot path is allocation-free in steady state: event records live in
     a pool of recycled slots, handles are immediate integers carrying a
-    per-slot generation, and the underlying {!Heap} stores its keys in a
-    flat float array. The only per-event allocation left is the callback
-    closure the caller passes in.
+    per-slot generation, and the queue stores its keys in flat arrays.
+    Two dispatch APIs share the pool: {!schedule} takes a closure (one
+    allocation per event), while {!schedule_fn} takes a long-lived
+    [int -> unit] plus an immediate payload and allocates nothing.
+
+    The queue implementation — binary heap or hierarchical timing wheel,
+    see {!Equeue} — is selectable per simulation, process-wide, or via
+    the [ZYGOS_EQUEUE] environment variable; both pop in identical
+    (time, seqno) order so the choice never affects simulation output.
 
     Events can be cancelled through the handle returned by {!schedule};
-    cancellation is O(1) (the heap entry stays queued but is skipped, and
+    cancellation is O(1) (the queue entry stays queued but is skipped, and
     the slot is recycled immediately). *)
 
 type t
 
-type handle
+type handle = private int
 (** A scheduled event, usable for cancellation. Handles are immediate
     values (no allocation) and generation-checked: a handle whose event has
     fired or been cancelled is inert even after its pool slot is reused. *)
@@ -28,32 +34,62 @@ type stats = {
   cancelled : int;  (** live events cancelled (stale cancels excluded) *)
   reused : int;  (** schedules served from the free list (pool hits) *)
   pool_slots : int;  (** distinct pool slots ever handed out *)
+  live : int;  (** events scheduled but not yet fired or cancelled *)
 }
 (** Event-pool counters. In steady state [reused] tracks [scheduled] and
     [pool_slots] stays at the high-water mark of concurrently pending
     events — the signature of an allocation-free hot path. *)
 
-val create : unit -> t
-(** Fresh simulation with clock at 0. *)
+val create : ?queue:Equeue.kind -> unit -> t
+(** Fresh simulation with clock at 0. [queue] selects the event-queue
+    back end; when omitted the process default applies
+    ({!set_default_queue}, else [ZYGOS_EQUEUE=heap|wheel], else
+    [Wheel]). *)
+
+val set_default_queue : Equeue.kind -> unit
+(** Process-wide queue default for subsequent {!create} calls without an
+    explicit [?queue]. Overrides [ZYGOS_EQUEUE]; the CLI's [--equeue]
+    flag calls this before spawning workers. *)
+
+val queue_kind : t -> Equeue.kind
+(** The back end this simulation's queue runs on. *)
 
 val now : t -> float
 (** Current simulated time (µs). *)
 
 val schedule : t -> at:float -> (unit -> unit) -> handle
 (** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not
-    be in the past (raises [Invalid_argument]). *)
+    be in the past (raises [Invalid_argument]). Allocates the closure the
+    caller builds; cold paths only — hot paths use {!schedule_fn}. *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f].
     [delay] must be non-negative. *)
+
+val schedule_fn : t -> at:float -> (int -> unit) -> int -> handle
+(** [schedule_fn t ~at fn iarg] runs [fn iarg] when the clock reaches
+    [at]. [fn] must be long-lived (pre-bound at setup, e.g. indexed by
+    core or connection id) and [iarg] is stored unboxed in the event
+    pool, so steady-state scheduling allocates zero words. Ordering is
+    identical to {!schedule}: one (time, seqno) sequence spans both
+    APIs. *)
+
+val schedule_fn_after : t -> delay:float -> (int -> unit) -> int -> handle
+(** [schedule_fn_after t ~delay fn iarg] =
+    [schedule_fn t ~at:(now t +. delay) fn iarg]. *)
 
 val cancel : t -> handle -> unit
 (** Prevent a pending event from firing. Cancelling a fired or already
     cancelled event is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    skipped). *)
+(** Number of events still queued, {e including} cancelled ones not yet
+    skipped by {!step}. Use {!live} for the exact outstanding count. *)
+
+val live : t -> int
+(** Number of events scheduled but not yet fired or cancelled — the
+    exact queue depth, unlike {!pending} which also counts lazily
+    cancelled entries still sitting in the queue. O(1). *)
 
 val step : t -> bool
 (** Execute the next event, advancing the clock. Returns [false] when the

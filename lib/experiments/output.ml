@@ -57,6 +57,7 @@ let print_sim_stats (s : Engine.Sim.stats) =
         [ "events cancelled"; string_of_int s.Engine.Sim.cancelled ];
         [ "pool slot reuses"; string_of_int s.Engine.Sim.reused ];
         [ "pool slots allocated"; string_of_int s.Engine.Sim.pool_slots ];
+        [ "events live at snapshot"; string_of_int s.Engine.Sim.live ];
       ]
 
 let pool_stats_rows (s : Runtime.Pool.stats) =

@@ -81,52 +81,11 @@ type t = {
   mutable window_completions : int;
   latencies : Stats.Tally.t;
   outstanding : int Queue.t array;  (* per-conn FIFO of pending request ids *)
+  (* Long-lived timeout/retransmit dispatch fns ([Sim.schedule_fn]),
+     keyed by logical request id; bound in [create] when retries are on. *)
+  mutable fn_timeout : int -> unit;
+  mutable fn_retry : int -> unit;
 }
-
-let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
-    ?(slo = infinity) ?retry () =
-  if conns < 1 then invalid_arg "Loadgen.create: conns < 1";
-  if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
-  if Float.is_nan slo || slo <= 0. then invalid_arg "Loadgen.create: slo <= 0";
-  Option.iter validate_retry retry;
-  (match selection with
-  | Uniform -> ()
-  | Hot_cold { hot_fraction; hot_load } ->
-      if hot_fraction <= 0. || hot_fraction >= 1. || hot_load <= 0. || hot_load >= 1. then
-        invalid_arg "Loadgen.create: Hot_cold fractions must be in (0, 1)");
-  {
-    sim;
-    rng;
-    conns;
-    rate;
-    service;
-    selection;
-    service_fn;
-    slo;
-    retry;
-    (* Split only when retries are on: with [retry = None] the generator's
-       draw sequence is bit-identical to the pre-retry implementation. *)
-    retry_rng = (match retry with Some _ -> Some (Rng.split rng) | None -> None);
-    pending = Hashtbl.create (if retry = None then 1 else 1024);
-    phys2log = Hashtbl.create (if retry = None then 1 else 1024);
-    target = None;
-    next_id = 0;
-    generated = 0;
-    measured_generated = 0;
-    measured_completed = 0;
-    order_violations = 0;
-    duplicate_completions = 0;
-    retries = 0;
-    timeouts = 0;
-    retry_exhausted = 0;
-    goodput_completions = 0;
-    measure_span = 0.;
-    measure_start = infinity;
-    measure_end = infinity;
-    window_completions = 0;
-    latencies = Stats.Tally.create ();
-    outstanding = Array.init conns (fun _ -> Queue.create ());
-  }
 
 let set_target t f = t.target <- Some f
 
@@ -137,14 +96,10 @@ let send t req =
 
 (* ---- client-side resilience: timeouts, capped backoff, retransmission ---- *)
 
-let rec arm_timeout t p (r : retry) =
-  p.p_timeout <-
-    Some
-      (Sim.schedule_after t.sim ~delay:r.timeout (fun () ->
-           p.p_timeout <- None;
-           if not p.p_done then on_timeout t p r))
+let arm_timeout t p (r : retry) =
+  p.p_timeout <- Some (Sim.schedule_fn_after t.sim ~delay:r.timeout t.fn_timeout p.p_id)
 
-and on_timeout t p r =
+let on_timeout t p r =
   t.timeouts <- t.timeouts + 1;
   if p.p_attempts >= r.max_retries then
     (* Retry budget exhausted: give up on this request. A straggling
@@ -158,10 +113,7 @@ and on_timeout t p r =
       | Some rng -> nominal *. (1. +. (r.jitter *. Rng.float rng))
       | None -> nominal
     in
-    let _ : Sim.handle =
-      Sim.schedule_after t.sim ~delay:jittered (fun () ->
-          if not p.p_done then retransmit t p r)
-    in
+    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:jittered t.fn_retry p.p_id in
     ()
   end
 
@@ -175,6 +127,73 @@ and retransmit t p r =
   Hashtbl.replace t.phys2log req.Request.id p.p_id;
   arm_timeout t p r;
   send t req
+
+let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
+    ?(slo = infinity) ?retry () =
+  if conns < 1 then invalid_arg "Loadgen.create: conns < 1";
+  if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
+  if Float.is_nan slo || slo <= 0. then invalid_arg "Loadgen.create: slo <= 0";
+  Option.iter validate_retry retry;
+  (match selection with
+  | Uniform -> ()
+  | Hot_cold { hot_fraction; hot_load } ->
+      if hot_fraction <= 0. || hot_fraction >= 1. || hot_load <= 0. || hot_load >= 1. then
+        invalid_arg "Loadgen.create: Hot_cold fractions must be in (0, 1)");
+  let t =
+    {
+      sim;
+      rng;
+      conns;
+      rate;
+      service;
+      selection;
+      service_fn;
+      slo;
+      retry;
+      (* Split only when retries are on: with [retry = None] the generator's
+         draw sequence is bit-identical to the pre-retry implementation. *)
+      retry_rng = (match retry with Some _ -> Some (Rng.split rng) | None -> None);
+      pending = Hashtbl.create (if retry = None then 1 else 1024);
+      phys2log = Hashtbl.create (if retry = None then 1 else 1024);
+      target = None;
+      next_id = 0;
+      generated = 0;
+      measured_generated = 0;
+      measured_completed = 0;
+      order_violations = 0;
+      duplicate_completions = 0;
+      retries = 0;
+      timeouts = 0;
+      retry_exhausted = 0;
+      goodput_completions = 0;
+      measure_span = 0.;
+      measure_start = infinity;
+      measure_end = infinity;
+      window_completions = 0;
+      latencies = Stats.Tally.create ();
+      outstanding = Array.init conns (fun _ -> Queue.create ());
+      fn_timeout = ignore;
+      fn_retry = ignore;
+    }
+  in
+  (match retry with
+  | None -> ()
+  | Some r ->
+      (* Pending entries are never removed (p_done guards stale copies),
+         so a fired timer always finds its state. *)
+      t.fn_timeout <-
+        (fun id ->
+          match Hashtbl.find_opt t.pending id with
+          | None -> ()
+          | Some p ->
+              p.p_timeout <- None;
+              if not p.p_done then on_timeout t p r);
+      t.fn_retry <-
+        (fun id ->
+          match Hashtbl.find_opt t.pending id with
+          | Some p when not p.p_done -> retransmit t p r
+          | Some _ | None -> ()));
+  t
 
 let emit t ~measure_start ~stop_at =
   let now = Sim.now t.sim in

@@ -58,9 +58,10 @@ let make sim (p : Params.t) ~route ~note ~respond =
               sent)
             exec_done batch
         in
-        let _ : Sim.handle = Sim.schedule sim ~at:finish_at (fun () -> iteration c) in
+        let _ : Sim.handle = Sim.schedule_fn sim ~at:finish_at fn_iteration c.id in
         ()
-  in
+  (* Closure-free dispatch: one long-lived fn, core id as the payload. *)
+  and fn_iteration id = iteration cores.(id) in
   let submit req =
     note req;
     let c = cores.(route req) in
@@ -69,7 +70,7 @@ let make sim (p : Params.t) ~route ~note ~respond =
         c.busy <- true;
         (* Polling loop: an idle core notices the packet within one loop
            iteration. *)
-        let _ : Sim.handle = Sim.schedule_after sim ~delay:p.dp_loop (fun () -> iteration c) in
+        let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:p.dp_loop fn_iteration c.id in
         ()
       end
   in

@@ -9,7 +9,16 @@ let thread_overhead (p : Params.t) =
 
 (* ---- Partitioned: static connection->core assignment via RSS ---- *)
 
-type pcore = { id : int; ring : Request.t Net.Ring.t; mutable busy : bool }
+type pcore = {
+  id : int;
+  ring : Request.t Net.Ring.t;
+  mutable busy : bool;
+  mutable cur : Request.t;  (* request executing on this core, else [no_req] *)
+}
+
+(* Placeholder for [pcore.cur] when the core isn't executing; lets the
+   completion event carry only the core id (closure-free dispatch). *)
+let no_req = Request.make ~id:(-1) ~conn:0 ~arrival:0. ~service:0. ~measured:false
 
 let partitioned sim (p : Params.t) ~conns ~respond =
   let p = Params.validate p in
@@ -18,7 +27,7 @@ let partitioned sim (p : Params.t) ~conns ~respond =
   let home = Array.init conns (fun c -> Net.Rss.queue_of_conn rss c) in
   let cores =
     Array.init p.cores (fun id ->
-        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false })
+        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false; cur = no_req })
   in
   let per_request_overhead = p.linux_epoll +. thread_overhead p in
   let rec run_next c =
@@ -30,13 +39,16 @@ let partitioned sim (p : Params.t) ~conns ~respond =
         let done_at =
           Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
         in
-        let _ : Sim.handle =
-          Sim.schedule sim ~at:done_at (fun () ->
-              respond req;
-              run_next c)
-        in
+        c.cur <- req;
+        let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_done c.id in
         ()
-  in
+  and fn_done id =
+    let c = cores.(id) in
+    let req = c.cur in
+    c.cur <- no_req;
+    respond req;
+    run_next c
+  and fn_wake id = run_next cores.(id) in
   let submit req =
     let c = cores.(home.(req.Request.conn)) in
     if Net.Ring.push c.ring req then
@@ -44,7 +56,7 @@ let partitioned sim (p : Params.t) ~conns ~respond =
         c.busy <- true;
         (* The thread is blocked in epoll_wait; it resumes after the wakeup
            latency and then drains its queue. *)
-        let _ : Sim.handle = Sim.schedule_after sim ~delay:p.linux_wakeup (fun () -> run_next c) in
+        let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:p.linux_wakeup fn_wake c.id in
         ()
       end
   in

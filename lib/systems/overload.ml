@@ -80,4 +80,10 @@ let info t =
     ("admitted", float_of_int t.admitted);
     ("shed", float_of_int t.shed);
     ("inflight_peak", float_of_int t.peak);
+    (* Exact engine-level queue depth ([Sim.live], which excludes
+       lazily-cancelled entries, unlike [Sim.pending]): the shedding
+       decisions above key off [inflight], and this snapshot lets a
+       sweep correlate them with the simulator's own backlog. *)
+    ("sim_live", float_of_int (Sim.live t.sim));
+    ("sim_pending", float_of_int (Sim.pending t.sim));
   ]

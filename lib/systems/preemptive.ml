@@ -11,7 +11,16 @@ type consolidation = {
 let default_consolidation =
   { window = 200.; low_util = 0.5; high_util = 0.85; unpark_latency = 10. }
 
-type job = { req : Request.t; mutable remaining : float; mutable dispatched : bool }
+type job = {
+  req : Request.t;
+  mutable remaining : float;
+  mutable dispatched : bool;
+  mutable slot : int;  (* index in the job registry, -1 when unregistered *)
+}
+
+(* Registry placeholder; also the content of freed registry slots. *)
+let no_req = Request.make ~id:(-1) ~conn:0 ~arrival:0. ~service:0. ~measured:false
+let no_job = { req = no_req; remaining = 0.; dispatched = true; slot = -1 }
 
 type state = {
   runq : job Queue.t;  (* centralized, preemptible run queue *)
@@ -48,6 +57,43 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
   in
   let pkts = float_of_int p.rpc_packets in
   let active () = p.cores - st.parked in
+  (* Job registry: maps the immediate int payload of closure-free events
+     back to the job, so per-slice and per-completion events allocate
+     nothing. Slots recycle through a stack, like the Sim event pool. *)
+  let jobs = ref (Array.make 64 no_job) in
+  let job_free = ref (Array.make 64 0) in
+  let job_free_top = ref 0 in
+  let job_fresh = ref 0 in
+  let register_job job =
+    let s =
+      if !job_free_top > 0 then begin
+        decr job_free_top;
+        !job_free.(!job_free_top)
+      end
+      else begin
+        if !job_fresh = Array.length !jobs then begin
+          let cap = Array.length !jobs in
+          let grown = Array.make (2 * cap) no_job in
+          Array.blit !jobs 0 grown 0 cap;
+          jobs := grown;
+          let free' = Array.make (2 * cap) 0 in
+          Array.blit !job_free 0 free' 0 !job_free_top;
+          job_free := free'
+        end;
+        let s = !job_fresh in
+        incr job_fresh;
+        s
+      end
+    in
+    !jobs.(s) <- job;
+    job.slot <- s
+  in
+  let unregister_job job =
+    !jobs.(job.slot) <- no_job;
+    !job_free.(!job_free_top) <- job.slot;
+    incr job_free_top;
+    job.slot <- -1
+  in
   let rec run_slice ~resume_cost job =
     let slice = Float.min quantum job.remaining in
     let setup =
@@ -61,31 +107,36 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
     if job.req.Request.started < 0. then
       job.req.Request.started <- Sim.now sim +. setup;
     st.busy_accum <- st.busy_accum +. setup +. slice;
-    let _ : Sim.handle =
-      Sim.schedule_after sim ~delay:(setup +. slice) (fun () ->
-          job.remaining <- job.remaining -. slice;
-          if job.remaining <= 1e-9 then finish job else preempt job)
-    in
+    let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:(setup +. slice) fn_slice_end job.slot in
     ()
+  and fn_slice_end s =
+    let job = !jobs.(s) in
+    (* [remaining] is untouched between schedule and fire, so this
+       recomputes exactly the slice the event was scheduled for. *)
+    let slice = Float.min quantum job.remaining in
+    job.remaining <- job.remaining -. slice;
+    if job.remaining <= 1e-9 then finish job else preempt job
   and finish job =
     st.busy_accum <- st.busy_accum +. (pkts *. p.dp_tx);
     let _ : Sim.handle =
-      Sim.schedule_after sim
-        ~delay:(pkts *. p.dp_tx)
-        (fun () ->
-          st.completed <- st.completed + 1;
-          respond job.req;
-          (* Per-connection serialization (§4.3): promote the next queued
-             request of this connection, if any. *)
-          let conn = job.req.Request.conn in
-          (match Queue.take_opt st.conn_pending.(conn) with
-          | Some next ->
-              Queue.add { req = next; remaining = next.Request.service; dispatched = false }
-                st.runq
-          | None -> st.conn_busy.(conn) <- false);
-          next_work ())
+      Sim.schedule_fn_after sim ~delay:(pkts *. p.dp_tx) fn_finish job.slot
     in
     ()
+  and fn_finish s =
+    let job = !jobs.(s) in
+    unregister_job job;
+    st.completed <- st.completed + 1;
+    respond job.req;
+    (* Per-connection serialization (§4.3): promote the next queued
+       request of this connection, if any. *)
+    let conn = job.req.Request.conn in
+    (match Queue.take_opt st.conn_pending.(conn) with
+    | Some next ->
+        let job = { req = next; remaining = next.Request.service; dispatched = false; slot = -1 } in
+        register_job job;
+        Queue.add job st.runq
+    | None -> st.conn_busy.(conn) <- false);
+    next_work ()
   and preempt job =
     if Queue.is_empty st.runq then
       (* Nothing else to run: keep going, no context switch to pay. *)
@@ -104,19 +155,18 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
         (* Consolidation: surplus cores park instead of idling. *)
         if active () > st.active_target then st.parked <- st.parked + 1
         else st.idle_cores <- st.idle_cores + 1
-  in
+  and fn_first s = run_slice ~resume_cost:0. !jobs.(s) in
   let submit req =
     let conn = req.Request.conn in
     if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
     else begin
       st.conn_busy.(conn) <- true;
-      let job = { req; remaining = req.Request.service; dispatched = false } in
+      let job = { req; remaining = req.Request.service; dispatched = false; slot = -1 } in
+      register_job job;
       if st.idle_cores > 0 then begin
         st.idle_cores <- st.idle_cores - 1;
         (* An idle core notices the packet within one poll iteration. *)
-        let _ : Sim.handle =
-          Sim.schedule_after sim ~delay:p.dp_loop (fun () -> run_slice ~resume_cost:0. job)
-        in
+        let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:p.dp_loop fn_first job.slot in
         ()
       end
       else Queue.add job st.runq

@@ -39,6 +39,10 @@ type zcore = {
   mutable ipi_pending : bool;  (* an IPI is in flight / unhandled for this core *)
   mutable wake_scheduled : bool;
   mutable ipis_received : int;
+  (* Continuations allocated once per core (closure-free steady state). *)
+  mutable k_step : unit -> unit;  (* [step t c] *)
+  mutable k_rx : unit -> unit;  (* deliver the [rx_pending] popped packets *)
+  mutable rx_pending : int;  (* batch size of the in-flight rx segment *)
 }
 
 type t = {
@@ -53,6 +57,13 @@ type t = {
   mutable ipis_sent : int;
   mutable remote_batches : int;
   mutable wc_violations : int;
+  (* Long-lived dispatch fns for [Sim.schedule_fn]: bound once in
+     [create], so the hot scheduling paths allocate no closures. *)
+  mutable fn_segment_done : int -> unit;  (* iarg = core id *)
+  mutable fn_wake : int -> unit;  (* iarg = core id *)
+  mutable fn_ipi : int -> unit;  (* iarg = destination core id *)
+  mutable fn_ipi_rx : int -> unit;  (* iarg = (rx_count lsl 16) lor core id *)
+  mutable fn_remote_release : int -> unit;  (* iarg = connection id *)
 }
 
 (* ---- timed segments ----
@@ -66,26 +77,24 @@ type t = {
    overlapping a fault window. With no straggler schedule the arithmetic
    is exactly [now +. cost], preserving bit-identical fault-free runs. *)
 
-let segment_finished c finish () =
-  c.cur_handle <- None;
-  c.cur_finish <- None;
-  finish ()
-
+(* The completion event carries only the core id; the continuation lives
+   in [cur_finish], so scheduling a segment allocates nothing beyond the
+   continuation the caller already built. *)
 let start_segment t c ~mode ~cost ~finish =
   assert (c.cur_handle = None);
   c.mode <- mode;
   c.cur_finish <- Some finish;
   c.cur_done_at <-
     Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost;
-  c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
+  c.cur_handle <- Some (Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id)
 
 let extend_segment t c ~extra =
   match (c.cur_handle, c.cur_finish) with
-  | Some h, Some finish ->
+  | Some h, Some _ ->
       Sim.cancel t.sim h;
       c.cur_done_at <-
         Core.Corefault.completion_time t.faults ~core:c.id ~now:c.cur_done_at ~work:extra;
-      c.cur_handle <- Some (Sim.schedule t.sim ~at:c.cur_done_at (segment_finished c finish))
+      c.cur_handle <- Some (Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id)
   | _ -> assert false
 
 let emit_trace t ev =
@@ -96,11 +105,7 @@ let emit_trace t ev =
 let rec wake t c ~delay =
   if c.mode = Midle && not c.wake_scheduled then begin
     c.wake_scheduled <- true;
-    let _ : Sim.handle =
-      Sim.schedule_after t.sim ~delay (fun () ->
-          c.wake_scheduled <- false;
-          if c.mode = Midle && c.cur_handle = None then step t c)
-    in
+    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay t.fn_wake c.id in
     ()
   end
 
@@ -114,9 +119,7 @@ and send_ipi t ~src v =
     v.ipi_pending <- true;
     t.ipis_sent <- t.ipis_sent + 1;
     emit_trace t (Ipi { src; dst = v.id });
-    let _ : Sim.handle =
-      Sim.schedule_after t.sim ~delay:t.p.zy_ipi_latency (fun () -> deliver_ipi t v)
-    in
+    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:t.p.zy_ipi_latency t.fn_ipi v.id in
     ()
   end
 
@@ -147,13 +150,10 @@ and deliver_ipi t v =
         if rx_count > 0 then begin
           (* Pop the ring at the moment the handler's receive work
              completes — popping earlier and delivering later could let a
-             second IPI's packets overtake these on the same connection. *)
+             second IPI's packets overtake these on the same connection.
+             The event packs (rx_count, core id) into its int payload. *)
           let _ : Sim.handle =
-            Sim.schedule t.sim ~at:after_rx (fun () ->
-                let rx_batch = pop_hw t v ~limit:rx_count in
-                emit_trace t (Rx { core = v.id; packets = List.length rx_batch });
-                List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) rx_batch;
-                wake_idlers t ~delay:t.p.zy_poll_delay)
+            Sim.schedule_fn t.sim ~at:after_rx t.fn_ipi_rx ((rx_count lsl 16) lor v.id)
           in
           ()
         end;
@@ -192,11 +192,7 @@ and transmit_batches t ~home ~from batches =
             done_at)
           clock reqs
       in
-      let _ : Sim.handle =
-        Sim.schedule t.sim ~at:clock (fun () ->
-            Sched.complete t.sched pcb;
-            wake_idlers t ~delay:t.p.zy_poll_delay)
-      in
+      let _ : Sim.handle = Sim.schedule_fn t.sim ~at:clock t.fn_remote_release (Sched.conn pcb) in
       clock)
     from batches
 
@@ -212,8 +208,7 @@ and try_drain_remote t c =
   | [] -> false
   | batches ->
       let finish_at = transmit_batches t ~home:c.id ~from:(Sim.now t.sim) batches in
-      start_segment t c ~mode:Mkernel ~cost:(finish_at -. Sim.now t.sim) ~finish:(fun () ->
-          step t c);
+      start_segment t c ~mode:Mkernel ~cost:(finish_at -. Sim.now t.sim) ~finish:c.k_step;
       true
 
 and victim_order t c =
@@ -283,12 +278,10 @@ and try_rx t c =
   else begin
     let k = min t.p.zy_rx_batch (Net.Ring.length c.hw) in
     let cost = t.p.dp_loop +. (float_of_int (k * t.p.rpc_packets) *. t.p.dp_rx) in
-    start_segment t c ~mode:Mkernel ~cost ~finish:(fun () ->
-        let batch = pop_hw t c ~limit:k in
-        emit_trace t (Rx { core = c.id; packets = List.length batch });
-        List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) batch;
-        wake_idlers t ~delay:t.p.zy_poll_delay;
-        step t c);
+    (* A core runs one rx segment at a time, so parking the batch size on
+       the core (for the preallocated [k_rx] continuation) is safe. *)
+    c.rx_pending <- k;
+    start_segment t c ~mode:Mkernel ~cost ~finish:c.k_rx;
     true
   end
 
@@ -338,6 +331,9 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
           ipi_pending = false;
           wake_scheduled = false;
           ipis_received = 0;
+          k_step = ignore;
+          k_rx = ignore;
+          rx_pending = 0;
         })
   in
   let t =
@@ -353,8 +349,53 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
       ipis_sent = 0;
       remote_batches = 0;
       wc_violations = 0;
+      fn_segment_done = ignore;
+      fn_wake = ignore;
+      fn_ipi = ignore;
+      fn_ipi_rx = ignore;
+      fn_remote_release = ignore;
     }
   in
+  (* Bind the long-lived dispatch fns and per-core continuations now that
+     [t] exists; every event scheduled below reaches back through these. *)
+  t.fn_segment_done <-
+    (fun id ->
+      let c = t.zcores.(id) in
+      c.cur_handle <- None;
+      match c.cur_finish with
+      | Some finish ->
+          c.cur_finish <- None;
+          finish ()
+      | None -> assert false);
+  t.fn_wake <-
+    (fun id ->
+      let c = t.zcores.(id) in
+      c.wake_scheduled <- false;
+      if c.mode = Midle && c.cur_handle = None then step t c);
+  t.fn_ipi <- (fun id -> deliver_ipi t t.zcores.(id));
+  t.fn_ipi_rx <-
+    (fun packed ->
+      let v = t.zcores.(packed land 0xffff) in
+      let rx_count = packed lsr 16 in
+      let rx_batch = pop_hw t v ~limit:rx_count in
+      emit_trace t (Rx { core = v.id; packets = List.length rx_batch });
+      List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) rx_batch;
+      wake_idlers t ~delay:t.p.zy_poll_delay);
+  t.fn_remote_release <-
+    (fun conn ->
+      Sched.complete t.sched t.pcbs.(conn);
+      wake_idlers t ~delay:t.p.zy_poll_delay);
+  Array.iter
+    (fun c ->
+      c.k_step <- (fun () -> step t c);
+      c.k_rx <-
+        (fun () ->
+          let batch = pop_hw t c ~limit:c.rx_pending in
+          emit_trace t (Rx { core = c.id; packets = List.length batch });
+          List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) batch;
+          wake_idlers t ~delay:t.p.zy_poll_delay;
+          step t c))
+    t.zcores;
   let submit req =
     let c = t.zcores.(Sched.home t.pcbs.(req.Request.conn)) in
     if Net.Ring.push c.hw req then begin
