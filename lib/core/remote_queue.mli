@@ -7,7 +7,7 @@
     Remote cores push completed batches here; the home core drains the
     queue either in its main loop or from the IPI handler. *)
 
-module Make (L : Platform.LOCK) : sig
+module Make (_ : Platform.LOCK) : sig
   type 'a t
 
   val create : unit -> 'a t

@@ -53,7 +53,7 @@ let grow t =
    so the simulator's schedule path hands its (clock + delay) key over
    through a flat one-element array and steady-state adds allocate
    nothing. [add] below keeps the ergonomic labelled-argument form. *)
-let add_key t buf value =
+let[@zygos.hot] add_key t buf value =
   let time = Array.unsafe_get buf 0 in
   if t.size = Array.length t.times then grow t;
   let seq = t.next_seq in
@@ -79,15 +79,15 @@ let add_key t buf value =
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set values !i value
 
-let add t ~time value =
+let[@zygos.hot] add t ~time value =
   Array.unsafe_set t.kbuf 0 time;
   add_key t t.kbuf value
 
-let min_time t = if t.size = 0 then infinity else Array.unsafe_get t.times 0
+let[@zygos.hot] min_time t = if t.size = 0 then infinity else Array.unsafe_get t.times 0
 
-let min_elt t = if t.size = 0 then t.dummy else Array.unsafe_get t.values 0
+let[@zygos.hot] min_elt t = if t.size = 0 then t.dummy else Array.unsafe_get t.values 0
 
-let drop_min t =
+let[@zygos.hot] drop_min t =
   if t.size > 0 then begin
     let n = t.size - 1 in
     t.size <- n;
@@ -134,7 +134,7 @@ let drop_min t =
 (* Pop the minimum, writing its time into [buf.(0)] (flat store — no
    boxed-float return) and returning its payload. The heap must be
    non-empty; the caller checks [is_empty] first. *)
-let pop_into t buf =
+let[@zygos.hot] pop_into t buf =
   Array.unsafe_set buf 0 (Array.unsafe_get t.times 0);
   let v = Array.unsafe_get t.values 0 in
   drop_min t;

@@ -35,6 +35,10 @@
 
 type handle = int
 
+(* Real handles are (gen lsl slot_bits) lor slot >= 0, so any negative
+   value is inert; [cancel] rejects negatives explicitly. *)
+let no_handle = -1
+
 let slot_bits = 24
 let slot_mask = (1 lsl slot_bits) - 1
 
@@ -137,13 +141,13 @@ let grow_pool t =
 (* Scrub only what can leak: a closure slot drops its closure; a fn slot
    keeps its (top-level, long-lived) fn and int payload, so releasing it
    writes nothing through the barrier. *)
-let release_slot t slot =
+let[@zygos.hot] release_slot t slot =
   Array.unsafe_set t.gens slot (Array.unsafe_get t.gens slot + 1);
   if Array.unsafe_get t.actions slot != noop then Array.unsafe_set t.actions slot noop;
   Array.unsafe_set t.free t.free_top slot;
   t.free_top <- t.free_top + 1
 
-let alloc_slot t =
+let[@zygos.hot] alloc_slot t =
   if t.free_top > 0 then begin
     t.free_top <- t.free_top - 1;
     t.n_reused <- t.n_reused + 1;
@@ -158,14 +162,14 @@ let alloc_slot t =
 
 (* Slot setup minus the float plumbing (the [at] key stays in the caller
    so each schedule boxes it exactly once, at the queue-add call). *)
-let prep_action t action =
+let[@zygos.hot] prep_action t action =
   let slot = alloc_slot t in
   if Array.unsafe_get t.actions slot != action then Array.unsafe_set t.actions slot action;
   if Array.unsafe_get t.fns slot != noop_fn then Array.unsafe_set t.fns slot noop_fn;
   t.n_scheduled <- t.n_scheduled + 1;
   (Array.unsafe_get t.gens slot lsl slot_bits) lor slot
 
-let prep_fn t fn iarg =
+let[@zygos.hot] prep_fn t fn iarg =
   let slot = alloc_slot t in
   if Array.unsafe_get t.fns slot != fn then Array.unsafe_set t.fns slot fn;
   Array.unsafe_set t.iargs slot iarg;
@@ -175,7 +179,7 @@ let prep_fn t fn iarg =
 (* Enqueue the slot whose key the caller stored in [t.tbuf]: the time
    travels to the queue through the flat buffer ({!Heap.add_key}), so a
    steady-state schedule allocates nothing at all. *)
-let enqueue_key t h =
+let[@zygos.hot] enqueue_key t h =
   match t.queue with
   | Equeue.H hp -> Heap.add_key hp t.tbuf h
   | Equeue.W w -> Wheel.add_key w t.tbuf h
@@ -197,7 +201,7 @@ let schedule_after t ~delay action =
   enqueue_key t h;
   h
 
-let schedule_fn t ~at fn iarg =
+let[@zygos.hot] schedule_fn t ~at fn iarg =
   if at < Array.unsafe_get t.clock 0 then
     invalid_arg
       (Printf.sprintf "Sim.schedule_fn: at %g is in the past (now %g)" at
@@ -207,19 +211,20 @@ let schedule_fn t ~at fn iarg =
   enqueue_key t h;
   h
 
-let schedule_fn_after t ~delay fn iarg =
+let[@zygos.hot] schedule_fn_after t ~delay fn iarg =
   if delay < 0. then invalid_arg "Sim.schedule_fn_after: negative delay";
   Array.unsafe_set t.tbuf 0 (Array.unsafe_get t.clock 0 +. delay);
   let h = prep_fn t fn iarg in
   enqueue_key t h;
   h
 
-let cancel t h =
+let[@zygos.hot] cancel t h =
   let slot = h land slot_mask in
   let gen = h lsr slot_bits in
-  (* [slot < t.fresh] guards stale handles from before a [clear]-style
-     reset as well as forged ones; past it, unsafe access is in bounds. *)
-  if slot < t.fresh && Array.unsafe_get t.gens slot = gen then begin
+  (* [h >= 0] rejects [no_handle]; [slot < t.fresh] guards stale handles
+     from before a [clear]-style reset as well as forged ones; past it,
+     unsafe access is in bounds. *)
+  if h >= 0 && slot < t.fresh && Array.unsafe_get t.gens slot = gen then begin
     release_slot t slot;
     t.n_cancelled <- t.n_cancelled + 1
   end
@@ -233,7 +238,7 @@ let live t = t.n_scheduled - t.n_fired - t.n_cancelled
    from [step] recursing on an empty queue. The clock only advances on
    an actual fire, and is copied flat from [tbuf] before the callback
    runs (which may overwrite [tbuf] by scheduling). *)
-let rec dispatch t h =
+let[@zygos.hot] rec dispatch t h =
   let slot = h land slot_mask in
   let gen = h lsr slot_bits in
   if Array.unsafe_get t.gens slot <> gen then step t (* cancelled; slot recycled *)
@@ -259,11 +264,12 @@ let rec dispatch t h =
   end
 
 and step t =
-  match t.queue with
-  | Equeue.H hp ->
-      if Heap.is_empty hp then false else dispatch t (Heap.pop_into hp t.tbuf)
-  | Equeue.W w ->
-      if Wheel.is_empty w then false else dispatch t (Wheel.pop_into w t.tbuf)
+  (match t.queue with
+   | Equeue.H hp ->
+       if Heap.is_empty hp then false else dispatch t (Heap.pop_into hp t.tbuf)
+   | Equeue.W w ->
+       if Wheel.is_empty w then false else dispatch t (Wheel.pop_into w t.tbuf))
+[@@zygos.hot]
 
 let run t = while step t do () done
 

@@ -28,6 +28,13 @@ type handle = private int
     values (no allocation) and generation-checked: a handle whose event has
     fired or been cancelled is inert even after its pool slot is reused. *)
 
+val no_handle : handle
+(** A sentinel no real handle ever equals (handles pack (generation, slot)
+    as a non-negative int; [no_handle] is negative). Lets callers store "no
+    event armed" in a flat [handle] field instead of a [handle option],
+    avoiding a [Some] allocation per armed event. [cancel t no_handle] is a
+    no-op. *)
+
 type stats = {
   scheduled : int;  (** events ever scheduled *)
   fired : int;  (** events whose callback ran *)

@@ -126,7 +126,7 @@ let grow_pool t =
   t.vals <- vals;
   t.nexts <- nexts
 
-let alloc_node t =
+let[@zygos.hot] alloc_node t =
   if t.free <> nil then begin
     let n = t.free in
     t.free <- Array.unsafe_get t.nexts n;
@@ -139,7 +139,7 @@ let alloc_node t =
     n
   end
 
-let free_node t n =
+let[@zygos.hot] free_node t n =
   Array.unsafe_set t.nexts n t.free;
   Array.unsafe_set t.vals n t.dummy;
   t.free <- n
@@ -149,7 +149,7 @@ let free_node t n =
 (* Level of a node with [tick] relative to [cur]: the highest base-32
    digit in which they differ (0 when equal, for redistributed nodes
    landing exactly on [cur]). Short-horizon timers exit immediately. *)
-let level_of ~cur tick =
+let[@zygos.hot] level_of ~cur tick =
   let x = tick lxor cur in
   let l = ref 0 in
   while !l < levels - 1 && x >= 1 lsl (slot_bits * (!l + 1)) do
@@ -157,7 +157,7 @@ let level_of ~cur tick =
   done;
   !l
 
-let push_bucket t ~level ~slot node =
+let[@zygos.hot] push_bucket t ~level ~slot node =
   let b = (level lsl slot_bits) lor slot in
   let tail = Array.unsafe_get t.tails b in
   if tail = nil then begin
@@ -168,7 +168,7 @@ let push_bucket t ~level ~slot node =
   Array.unsafe_set t.tails b node;
   Array.unsafe_set t.nexts node nil
 
-let place t node =
+let[@zygos.hot] place t node =
   let tick = tick_of_time (Array.unsafe_get t.times node) in
   let level = level_of ~cur:t.cur tick in
   let slot = (tick lsr (slot_bits * level)) land slot_mask in
@@ -205,7 +205,7 @@ let run_make_room t =
 (* Merge-insert at the (time, seq) position. The new seq is the largest
    live one, so the slot is after every entry with an equal time: first
    index whose time is strictly greater. *)
-let insert_into_run t ~time ~seq v =
+let[@zygos.hot] insert_into_run t ~time ~seq v =
   run_make_room t;
   let lo = ref t.run_pos and hi = ref t.run_len in
   while !lo < !hi do
@@ -300,7 +300,7 @@ let sort_run t lo hi =
 
 (* ---- advancing ---- *)
 
-let drain_level0_slot t slot =
+let[@zygos.hot] drain_level0_slot t slot =
   let b = slot in
   let node = ref (Array.unsafe_get t.heads b) in
   Array.unsafe_set t.heads b nil;
@@ -326,36 +326,38 @@ let drain_level0_slot t slot =
 (* Pull the next-nonempty higher-level bucket down: jump [cur] to the
    start of its span and re-place its nodes (they land strictly below this
    level, or on level 0's current slot when their tick equals [cur]). *)
-let cascade t =
-  let rec find l =
-    if l >= levels then assert false (* wheel_count > 0 guarantees a bucket *)
+(* Top-level rather than an inner [let rec] of [cascade]: an inner
+   recursive function capturing [t] is a closure allocated on every
+   cascade, which the advance path cannot afford. *)
+let[@zygos.hot] rec cascade_from t l =
+  if l >= levels then assert false (* wheel_count > 0 guarantees a bucket *)
+  else begin
+    let dl = (t.cur lsr (slot_bits * l)) land slot_mask in
+    let m = Array.unsafe_get t.maps l lsr dl in
+    if m = 0 then cascade_from t (l + 1)
     else begin
-      let dl = (t.cur lsr (slot_bits * l)) land slot_mask in
-      let m = Array.unsafe_get t.maps l lsr dl in
-      if m = 0 then find (l + 1)
-      else begin
-        let slot = dl + ctz m in
-        let shift = slot_bits * l in
-        t.cur <- ((t.cur lsr (shift + slot_bits)) lsl (shift + slot_bits)) lor (slot lsl shift);
-        let b = (l lsl slot_bits) lor slot in
-        let node = ref (Array.unsafe_get t.heads b) in
-        Array.unsafe_set t.heads b nil;
-        Array.unsafe_set t.tails b nil;
-        Array.unsafe_set t.maps l (Array.unsafe_get t.maps l land lnot (1 lsl slot));
-        while !node <> nil do
-          let n = !node in
-          node := Array.unsafe_get t.nexts n;
-          place t n
-        done
-      end
+      let slot = dl + ctz m in
+      let shift = slot_bits * l in
+      t.cur <- ((t.cur lsr (shift + slot_bits)) lsl (shift + slot_bits)) lor (slot lsl shift);
+      let b = (l lsl slot_bits) lor slot in
+      let node = ref (Array.unsafe_get t.heads b) in
+      Array.unsafe_set t.heads b nil;
+      Array.unsafe_set t.tails b nil;
+      Array.unsafe_set t.maps l (Array.unsafe_get t.maps l land lnot (1 lsl slot));
+      while !node <> nil do
+        let n = !node in
+        node := Array.unsafe_get t.nexts n;
+        place t n
+      done
     end
-  in
-  find 1
+  end
+
+let[@zygos.hot] cascade t = cascade_from t 1
 
 (* Ensure the run holds the global minimum; false iff the queue is empty.
    Every wheel node has tick > cur, hence time >= tick > run times, so a
    non-empty run needs no advancing. *)
-let rec ensure_run t =
+let[@zygos.hot] rec ensure_run t =
   if t.run_pos < t.run_len then true
   else if t.wheel_count = 0 then false
   else begin
@@ -375,7 +377,7 @@ let rec ensure_run t =
 (* The key arrives in [buf.(0)] rather than as a float argument (see
    {!Heap.add_key}: floats crossing a call are boxed at the caller, flat
    array hand-off is not). *)
-let add_key t buf v =
+let[@zygos.hot] add_key t buf v =
   let time = Array.unsafe_get buf 0 in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -392,15 +394,15 @@ let add_key t buf v =
     t.wheel_count <- t.wheel_count + 1
   end
 
-let add t ~time v =
+let[@zygos.hot] add t ~time v =
   Array.unsafe_set t.kbuf 0 time;
   add_key t t.kbuf v
 
-let min_time t = if ensure_run t then Array.unsafe_get t.run_times t.run_pos else infinity
+let[@zygos.hot] min_time t = if ensure_run t then Array.unsafe_get t.run_times t.run_pos else infinity
 
-let min_elt t = if ensure_run t then Array.unsafe_get t.run_vals t.run_pos else t.dummy
+let[@zygos.hot] min_elt t = if ensure_run t then Array.unsafe_get t.run_vals t.run_pos else t.dummy
 
-let drop_min t =
+let[@zygos.hot] drop_min t =
   if ensure_run t then begin
     t.run_pos <- t.run_pos + 1;
     if t.run_pos = t.run_len then begin
@@ -412,7 +414,7 @@ let drop_min t =
 (* Remove the minimum, writing its time into [buf.(0)] (flat store, no
    boxed-float return) and returning its payload; [dummy] when empty.
    The simulator's step loop pops through this. *)
-let pop_into t buf =
+let[@zygos.hot] pop_into t buf =
   if ensure_run t then begin
     let p = t.run_pos in
     Array.unsafe_set buf 0 (Array.unsafe_get t.run_times p);

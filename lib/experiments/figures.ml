@@ -248,7 +248,7 @@ let fig8 ~jobs ~scale =
                     ~seed ()
                 in
                 let p = Run.run_point cfg ~load in
-                let get key = Option.value ~default:0. (List.assoc_opt key p.Run.info) in
+                let get key = Option.value ~default:0. (Run.info_value p key) in
                 let events = get "local_events" +. get "stolen_events" in
                 let ipis_per_event = if events = 0. then 0. else get "ipis_sent" /. events in
                 [
@@ -312,7 +312,10 @@ type silo_run = {
 
 let silo_run_memo : (float * silo_run) option ref = ref None
 
-let run_silo ~scale =
+(* zygos.allow determinism: fig10a is the one real-time measurement in the
+   suite — it times actual Silo/TPC-C executions on this machine, so the
+   wall clock is the measurement, not simulation state. *)
+let[@zygos.allow "determinism"] run_silo ~scale =
   match !silo_run_memo with
   | Some (s, run) when s >= scale -> run
   | _ ->
@@ -384,7 +387,8 @@ let fig10a ~jobs ~scale =
           Output.f1 (pct_of samples 99.);
           Output.f1 (pct_of samples 99.9);
         ])
-      (("Mix", run.samples) :: List.sort compare run.by_type)
+      (("Mix", run.samples)
+      :: List.sort (fun (a, _) (b, _) -> String.compare a b) run.by_type)
   in
   Output.print_table
     ~columns:[ "transaction"; "count"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
@@ -665,8 +669,7 @@ let ext_preempt ~jobs ~scale =
                     in
                     let p = Run.run_point cfg ~load in
                     let preemptions =
-                      Option.value ~default:0.
-                        (List.assoc_opt "preemptions_per_request" p.Run.info)
+                      Option.value ~default:0. (Run.info_value p "preemptions_per_request")
                     in
                     [
                       Run.system_name system;
@@ -712,7 +715,7 @@ let ext_rebalance ~jobs ~scale =
                 in
                 let p = Run.run_point cfg ~load in
                 let moves =
-                  Option.value ~default:0. (List.assoc_opt "rebalance_moves" p.Run.info)
+                  Option.value ~default:0. (Run.info_value p "rebalance_moves")
                 in
                 [
                   Run.system_name system;
@@ -829,7 +832,7 @@ let chaos ~jobs ~scale =
                         ?faults ()
                     in
                     let p = Run.run_point cfg ~load in
-                    let get key = Option.value ~default:0. (List.assoc_opt key p.Run.info) in
+                    let get key = Option.value ~default:0. (Run.info_value p key) in
                     [
                       Run.system_name system;
                       Output.f3 fr;
@@ -896,7 +899,7 @@ let chaos ~jobs ~scale =
                     ~shed ~seed ()
                 in
                 let p = Run.run_point cfg ~load in
-                let get key = Option.value ~default:0. (List.assoc_opt key p.Run.info) in
+                let get key = Option.value ~default:0. (Run.info_value p key) in
                 [
                   label;
                   Output.f2 load;

@@ -81,6 +81,15 @@ type point = {
   info : (string * float) list;
 }
 
+(* String-keyed lookup into a point's counters; List.assoc_opt would
+   compare the keys with polymorphic equality. *)
+let info_value p key =
+  let rec go = function
+    | [] -> None
+    | (k, v) :: rest -> if String.equal k key then Some v else go rest
+  in
+  go p.info
+
 let point_of_tally ~load ~offered_rate ~throughput ~goodput ~order_violations ~info tally =
   let empty = Stats.Tally.is_empty tally in
   {

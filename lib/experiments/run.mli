@@ -83,6 +83,9 @@ type point = {
   info : (string * float) list;  (** system counters, see {!Systems.Iface} *)
 }
 
+val info_value : point -> string -> float option
+(** [info_value p key] looks up a counter in [p.info] by [String.equal]. *)
+
 val run_point : config -> load:float -> point
 (** Run one simulation at the given offered load. Deterministic in
     [config.seed]. *)

@@ -47,6 +47,9 @@ type totals = {
   mutable wall_s : float;
   mutable workers : int;  (** max workers used by any sweep *)
 }
+[@@zygos.owned
+  "single-owner: mutated only by the calling domain, after Pool.run has joined \
+   every worker"]
 
 let totals = { sweeps = 0; points = 0; steals = 0; busy_s = 0.; wall_s = 0.; workers = 1 }
 

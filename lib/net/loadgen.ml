@@ -47,9 +47,13 @@ type pending = {
   p_measured : bool;
   p_first_arrival : float;
   mutable p_attempts : int;  (* retransmissions sent so far *)
-  mutable p_timeout : Sim.handle option;
+  mutable p_timeout : Sim.handle;  (* [no_timeout] when no timer is armed *)
   mutable p_done : bool;
 }
+
+(* Stored flat instead of as a [handle option]: saves a [Some]
+   allocation per armed timeout. *)
+let no_timeout : Sim.handle = Sim.no_handle
 
 type t = {
   sim : Sim.t;
@@ -96,10 +100,10 @@ let send t req =
 
 (* ---- client-side resilience: timeouts, capped backoff, retransmission ---- *)
 
-let arm_timeout t p (r : retry) =
-  p.p_timeout <- Some (Sim.schedule_fn_after t.sim ~delay:r.timeout t.fn_timeout p.p_id)
+let[@zygos.hot] arm_timeout t p (r : retry) =
+  p.p_timeout <- Sim.schedule_fn_after t.sim ~delay:r.timeout t.fn_timeout p.p_id
 
-let on_timeout t p r =
+let[@zygos.hot] on_timeout t p r =
   t.timeouts <- t.timeouts + 1;
   if p.p_attempts >= r.max_retries then
     (* Retry budget exhausted: give up on this request. A straggling
@@ -153,8 +157,8 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
       (* Split only when retries are on: with [retry = None] the generator's
          draw sequence is bit-identical to the pre-retry implementation. *)
       retry_rng = (match retry with Some _ -> Some (Rng.split rng) | None -> None);
-      pending = Hashtbl.create (if retry = None then 1 else 1024);
-      phys2log = Hashtbl.create (if retry = None then 1 else 1024);
+      pending = Hashtbl.create (if Option.is_none retry then 1 else 1024);
+      phys2log = Hashtbl.create (if Option.is_none retry then 1 else 1024);
       target = None;
       next_id = 0;
       generated = 0;
@@ -186,16 +190,16 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
           match Hashtbl.find_opt t.pending id with
           | None -> ()
           | Some p ->
-              p.p_timeout <- None;
-              if not p.p_done then on_timeout t p r);
+              p.p_timeout <- no_timeout;
+              if not p.p_done then on_timeout t p r) [@zygos.hot];
       t.fn_retry <-
         (fun id ->
           match Hashtbl.find_opt t.pending id with
           | Some p when not p.p_done -> retransmit t p r
-          | Some _ | None -> ()));
+          | Some _ | None -> ()) [@zygos.hot]);
   t
 
-let emit t ~measure_start ~stop_at =
+let[@zygos.hot] emit t ~measure_start ~stop_at =
   let now = Sim.now t.sim in
   let conn =
     match t.selection with
@@ -223,6 +227,8 @@ let emit t ~measure_start ~stop_at =
          meaningless, so losses surface as timeouts instead. *)
       Queue.add req.Request.id t.outstanding.(conn)
   | Some r ->
+      (* Per-logical-request state, retry mode only: one record per
+         request for its whole lifetime, not per event. *)
       let p =
         {
           p_id = req.Request.id;
@@ -231,16 +237,17 @@ let emit t ~measure_start ~stop_at =
           p_measured = measured;
           p_first_arrival = now;
           p_attempts = 0;
-          p_timeout = None;
+          p_timeout = no_timeout;
           p_done = false;
         }
+        [@zygos.allow "hot-alloc"]
       in
       Hashtbl.replace t.pending p.p_id p;
       arm_timeout t p r);
   send t req
 
 let start t ~warmup ~measure =
-  if t.target = None then invalid_arg "Loadgen.start: no target set";
+  if Option.is_none t.target then invalid_arg "Loadgen.start: no target set";
   if measure <= 0. then invalid_arg "Loadgen.start: measure <= 0";
   let t0 = Sim.now t.sim in
   let measure_start = t0 +. warmup in
@@ -259,7 +266,7 @@ let start t ~warmup ~measure =
   ignore (Sim.schedule_after t.sim ~delay:first_gap arrival : Sim.handle)
 
 (* Record a distinct logical completion at time [now] with latency [lat]. *)
-let record_completion t ~now ~measured ~lat =
+let[@zygos.hot] record_completion t ~now ~measured ~lat =
   if now >= t.measure_start && now < t.measure_end then
     t.window_completions <- t.window_completions + 1;
   if measured then begin
@@ -313,11 +320,10 @@ let complete t (req : Request.t) =
               t.duplicate_completions <- t.duplicate_completions + 1
             else begin
               p.p_done <- true;
-              (match p.p_timeout with
-              | Some h ->
-                  Sim.cancel t.sim h;
-                  p.p_timeout <- None
-              | None -> ());
+              if p.p_timeout <> no_timeout then begin
+                Sim.cancel t.sim p.p_timeout;
+                p.p_timeout <- no_timeout
+              end;
               (* Client-observed latency spans from the first send, not the
                  retransmission that finally got through. *)
               record_completion t ~now ~measured:p.p_measured ~lat:(now -. p.p_first_arrival)

@@ -12,8 +12,10 @@ type t = {
   submitted : int Atomic.t;
   executed : int Atomic.t;
   stop_flag : bool Atomic.t;
-  mutable domains : unit Domain.t list;
-  mutable state : state;
+  mutable domains : unit Domain.t list
+      [@zygos.owned "lock-protected: read/written only by start/stop under [state_lock]"];
+  mutable state : state
+      [@zygos.owned "lock-protected: read/written only by start/stop under [state_lock]"];
   state_lock : Mutex.t;
 }
 

@@ -34,8 +34,14 @@ let recommended_workers () = Domain.recommended_domain_count ()
    still runnable. The owner takes from [head], thieves from [tail-1]. *)
 type deque = {
   items : int array;
-  mutable head : int;
-  mutable tail : int;
+  mutable head : int
+      [@zygos.owned
+        "lock-protected: written only by pop_own/pop_steal under [lock]; \
+         initialisation happens-before every worker via Domain.spawn"];
+  mutable tail : int
+      [@zygos.owned
+        "lock-protected: written only by pop_own/pop_steal under [lock]; \
+         initialisation happens-before every worker via Domain.spawn"];
   lock : Mutex.t;
 }
 

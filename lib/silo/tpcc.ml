@@ -33,16 +33,16 @@ let w_tax = 5
 and w_ytd = 6
 
 (* district: name, street, city, state, zip, tax(bp), ytd(cents), next_o_id *)
-let d_tax = 5
+let _d_tax = 5
 
 and d_ytd = 6
 
 and d_next_o_id = 7
 
 (* customer *)
-let c_first = 0
+let _c_first = 0
 
-and c_last = 2
+and _c_last = 2
 
 and c_credit = 10
 

@@ -45,7 +45,7 @@ let read t (table : Db.table) key =
   match find_own_insert t table key with
   | Some i -> Some i.idata
   | None -> (
-      if find_own_delete t table key <> None then None
+      if Option.is_some (find_own_delete t table key) then None
       else
         match find_own_write t table key with
         | Some w -> Some w.wdata
@@ -68,7 +68,7 @@ let scan t (table : Db.table) ~lo ~hi =
   let entries = Btree.scan_range table.index ~lo ~hi ~on_leaf () in
   List.filter_map
     (fun (key, record) ->
-      if find_own_delete t table key <> None then None
+      if Option.is_some (find_own_delete t table key) then None
       else
         match find_own_write t table key with
         | Some w -> Some (key, w.wdata)
@@ -98,7 +98,7 @@ let write t (table : Db.table) key data =
 
 let insert t (table : Db.table) key data =
   check_active t;
-  if find_own_insert t table key <> None then invalid_arg "Txn.insert: duplicate buffered insert";
+  if Option.is_some (find_own_insert t table key) then invalid_arg "Txn.insert: duplicate buffered insert";
   t.inserts <- { itable = table; ikey = key; idata = data } :: t.inserts
 
 let delete t (table : Db.table) key =

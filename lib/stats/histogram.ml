@@ -52,7 +52,7 @@ let create ?(significant_digits = 3) () =
    and the whole IEEE-754 bit pattern fits in OCaml's 63-bit native int:
    one unboxed bits-of-float, then plain int shifts and masks (no Int64
    boxing, and an int result so nothing is boxed on return either). *)
-let bucket_of_value t v =
+let[@zygos.hot] bucket_of_value t v =
   if v <= t.floor_value then 0
   else begin
     let b = Int64.to_int (Int64.bits_of_float v) in
@@ -78,7 +78,7 @@ let grow_to t cap =
   Array.blit t.buckets 0 bigger 0 (Array.length t.buckets);
   t.buckets <- bigger
 
-let record t v =
+let[@zygos.hot] record t v =
   if v < 0. then invalid_arg "Histogram.record: negative value";
   let i = bucket_of_value t v in
   if i >= Array.length t.buckets then

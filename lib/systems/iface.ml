@@ -4,4 +4,10 @@ type t = {
   info : unit -> (string * float) list;
 }
 
-let info_value t key = List.assoc_opt key (t.info ())
+(* String-keyed lookup: List.assoc_opt would compare keys with
+   polymorphic equality. *)
+let rec assoc_str key = function
+  | [] -> None
+  | (k, v) :: rest -> if String.equal k key then Some v else assoc_str key rest
+
+let info_value t key = assoc_str key (t.info ())

@@ -61,8 +61,8 @@ let make sim (p : Params.t) ~route ~note ~respond =
         let _ : Sim.handle = Sim.schedule_fn sim ~at:finish_at fn_iteration c.id in
         ()
   (* Closure-free dispatch: one long-lived fn, core id as the payload. *)
-  and fn_iteration id = iteration cores.(id) in
-  let submit req =
+  and fn_iteration id = (iteration cores.(id)) [@@zygos.hot] in
+  let[@zygos.hot] submit req =
     note req;
     let c = cores.(route req) in
     if Net.Ring.push c.ring req then

@@ -31,25 +31,27 @@ let partitioned sim (p : Params.t) ~conns ~respond =
   in
   let per_request_overhead = p.linux_epoll +. thread_overhead p in
   let rec run_next c =
-    match Net.Ring.pop c.ring with
-    | None -> c.busy <- false
-    | Some req ->
-        req.Request.started <- Sim.now sim;
-        let work = per_request_overhead +. req.Request.service in
-        let done_at =
-          Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
-        in
-        c.cur <- req;
-        let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_done c.id in
-        ()
+    (match Net.Ring.pop c.ring with
+     | None -> c.busy <- false
+     | Some req ->
+         req.Request.started <- Sim.now sim;
+         let work = per_request_overhead +. req.Request.service in
+         let done_at =
+           Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
+         in
+         c.cur <- req;
+         let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_done c.id in
+         ())
+  [@@zygos.hot]
   and fn_done id =
-    let c = cores.(id) in
-    let req = c.cur in
-    c.cur <- no_req;
-    respond req;
-    run_next c
-  and fn_wake id = run_next cores.(id) in
-  let submit req =
+    (let c = cores.(id) in
+     let req = c.cur in
+     c.cur <- no_req;
+     respond req;
+     run_next c)
+  [@@zygos.hot]
+  and fn_wake id = (run_next cores.(id)) [@@zygos.hot] in
+  let[@zygos.hot] submit req =
     let c = cores.(home.(req.Request.conn)) in
     if Net.Ring.push c.ring req then
       if not c.busy then begin

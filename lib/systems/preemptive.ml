@@ -94,7 +94,7 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
     incr job_free_top;
     job.slot <- -1
   in
-  let rec run_slice ~resume_cost job =
+  let[@zygos.hot] rec run_slice ~resume_cost job =
     let slice = Float.min quantum job.remaining in
     let setup =
       if job.dispatched then resume_cost
@@ -110,52 +110,61 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
     let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:(setup +. slice) fn_slice_end job.slot in
     ()
   and fn_slice_end s =
-    let job = !jobs.(s) in
-    (* [remaining] is untouched between schedule and fire, so this
-       recomputes exactly the slice the event was scheduled for. *)
-    let slice = Float.min quantum job.remaining in
-    job.remaining <- job.remaining -. slice;
-    if job.remaining <= 1e-9 then finish job else preempt job
+    (let job = !jobs.(s) in
+     (* [remaining] is untouched between schedule and fire, so this
+        recomputes exactly the slice the event was scheduled for. *)
+     let slice = Float.min quantum job.remaining in
+     job.remaining <- job.remaining -. slice;
+     if job.remaining <= 1e-9 then finish job else preempt job)
+  [@@zygos.hot]
   and finish job =
-    st.busy_accum <- st.busy_accum +. (pkts *. p.dp_tx);
-    let _ : Sim.handle =
-      Sim.schedule_fn_after sim ~delay:(pkts *. p.dp_tx) fn_finish job.slot
-    in
-    ()
+    (st.busy_accum <- st.busy_accum +. (pkts *. p.dp_tx);
+     let _ : Sim.handle =
+       Sim.schedule_fn_after sim ~delay:(pkts *. p.dp_tx) fn_finish job.slot
+     in
+     ())
+  [@@zygos.hot]
   and fn_finish s =
-    let job = !jobs.(s) in
-    unregister_job job;
-    st.completed <- st.completed + 1;
-    respond job.req;
-    (* Per-connection serialization (§4.3): promote the next queued
-       request of this connection, if any. *)
-    let conn = job.req.Request.conn in
-    (match Queue.take_opt st.conn_pending.(conn) with
-    | Some next ->
-        let job = { req = next; remaining = next.Request.service; dispatched = false; slot = -1 } in
-        register_job job;
-        Queue.add job st.runq
-    | None -> st.conn_busy.(conn) <- false);
-    next_work ()
+    (let job = !jobs.(s) in
+     unregister_job job;
+     st.completed <- st.completed + 1;
+     respond job.req;
+     (* Per-connection serialization (§4.3): promote the next queued
+        request of this connection, if any. The promoted job record is a
+        per-logical-request allocation, not a per-event one. *)
+     let conn = job.req.Request.conn in
+     (match Queue.take_opt st.conn_pending.(conn) with
+     | Some next ->
+         let job =
+           ({ req = next; remaining = next.Request.service; dispatched = false; slot = -1 }
+           [@zygos.allow "hot-alloc"])
+         in
+         register_job job;
+         Queue.add job st.runq
+     | None -> st.conn_busy.(conn) <- false);
+     next_work ())
+  [@@zygos.hot]
   and preempt job =
-    if Queue.is_empty st.runq then
-      (* Nothing else to run: keep going, no context switch to pay. *)
-      run_slice ~resume_cost:0. job
-    else begin
-      st.preemptions <- st.preemptions + 1;
-      Queue.add job st.runq;
-      match Queue.take_opt st.runq with
-      | Some next -> run_slice ~resume_cost:switch_cost next
-      | None -> assert false
-    end
+    (if Queue.is_empty st.runq then
+       (* Nothing else to run: keep going, no context switch to pay. *)
+       run_slice ~resume_cost:0. job
+     else begin
+       st.preemptions <- st.preemptions + 1;
+       Queue.add job st.runq;
+       match Queue.take_opt st.runq with
+       | Some next -> run_slice ~resume_cost:switch_cost next
+       | None -> assert false
+     end)
+  [@@zygos.hot]
   and next_work () =
-    match Queue.take_opt st.runq with
-    | Some job -> run_slice ~resume_cost:switch_cost job
-    | None ->
-        (* Consolidation: surplus cores park instead of idling. *)
-        if active () > st.active_target then st.parked <- st.parked + 1
-        else st.idle_cores <- st.idle_cores + 1
-  and fn_first s = run_slice ~resume_cost:0. !jobs.(s) in
+    (match Queue.take_opt st.runq with
+     | Some job -> run_slice ~resume_cost:switch_cost job
+     | None ->
+         (* Consolidation: surplus cores park instead of idling. *)
+         if active () > st.active_target then st.parked <- st.parked + 1
+         else st.idle_cores <- st.idle_cores + 1)
+  [@@zygos.hot]
+  and fn_first s = (run_slice ~resume_cost:0. !jobs.(s)) [@@zygos.hot] in
   let submit req =
     let conn = req.Request.conn in
     if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)

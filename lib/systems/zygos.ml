@@ -27,14 +27,20 @@ let pp_trace_event ppf = function
    transmitted by (and ownership released at) the home core. *)
 type remote_batch = { pcb : Request.t Sched.pcb; reqs : Request.t list }
 
+(* Sentinel for "no segment continuation armed"; compared with physical
+   equality, so real continuations (closures) are never misread as it.
+   Storing the continuation flat instead of as an option removes two
+   [Some] allocations per timed segment. *)
+let no_finish () = ()
+
 type zcore = {
   id : int;
   hw : Request.t Net.Ring.t;
   remote : remote_batch RQ.t;
   policy : Core.Steal_policy.t;
   mutable mode : mode;
-  mutable cur_handle : Sim.handle option;  (* completion of current timed segment *)
-  mutable cur_finish : (unit -> unit) option;  (* its continuation, for IPI extension *)
+  mutable cur_handle : Sim.handle;  (* current timed segment; [Sim.no_handle] if none *)
+  mutable cur_finish : unit -> unit;  (* its continuation ([no_finish] if none) *)
   mutable cur_done_at : float;
   mutable ipi_pending : bool;  (* an IPI is in flight / unhandled for this core *)
   mutable wake_scheduled : bool;
@@ -80,48 +86,60 @@ type t = {
 (* The completion event carries only the core id; the continuation lives
    in [cur_finish], so scheduling a segment allocates nothing beyond the
    continuation the caller already built. *)
-let start_segment t c ~mode ~cost ~finish =
-  assert (c.cur_handle = None);
+let[@zygos.hot] start_segment t c ~mode ~cost ~finish =
+  assert (c.cur_handle = Sim.no_handle);
   c.mode <- mode;
-  c.cur_finish <- Some finish;
+  c.cur_finish <- finish;
   c.cur_done_at <-
     Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost;
-  c.cur_handle <- Some (Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id)
+  c.cur_handle <- Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id
 
-let extend_segment t c ~extra =
-  match (c.cur_handle, c.cur_finish) with
-  | Some h, Some _ ->
-      Sim.cancel t.sim h;
-      c.cur_done_at <-
-        Core.Corefault.completion_time t.faults ~core:c.id ~now:c.cur_done_at ~work:extra;
-      c.cur_handle <- Some (Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id)
-  | _ -> assert false
+let[@zygos.hot] extend_segment t c ~extra =
+  assert (c.cur_handle <> Sim.no_handle);
+  assert (c.cur_finish != no_finish);
+  Sim.cancel t.sim c.cur_handle;
+  c.cur_done_at <-
+    Core.Corefault.completion_time t.faults ~core:c.id ~now:c.cur_done_at ~work:extra;
+  c.cur_handle <- Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id
 
 let emit_trace t ev =
   match t.trace with Some f -> f (Sim.now t.sim) ev | None -> ()
 
+(* Trace-event constructors allocate; hot sites guard on [tracing t] so
+   the untraced steady state allocates nothing. *)
+let tracing t = Option.is_some t.trace
+
 (* ---- idle wakeups ---- *)
 
 let rec wake t c ~delay =
-  if c.mode = Midle && not c.wake_scheduled then begin
-    c.wake_scheduled <- true;
-    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay t.fn_wake c.id in
-    ()
-  end
+  (if c.mode = Midle && not c.wake_scheduled then begin
+     c.wake_scheduled <- true;
+     let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay t.fn_wake c.id in
+     ()
+   end)
+[@@zygos.hot]
 
 and wake_idlers t ~delay =
-  Array.iter (fun c -> if c.mode = Midle then wake t c ~delay) t.zcores
+  (* for-loop, not Array.iter: the iter closure would capture [t]/[delay]
+     and be rebuilt on every call. *)
+  (let zs = t.zcores in
+   for i = 0 to Array.length zs - 1 do
+     let c = zs.(i) in
+     if c.mode = Midle then wake t c ~delay
+   done)
+[@@zygos.hot]
 
 (* ---- inter-processor interrupts (§4.5, exit-less per §5) ---- *)
 
 and send_ipi t ~src v =
-  if not v.ipi_pending then begin
-    v.ipi_pending <- true;
-    t.ipis_sent <- t.ipis_sent + 1;
-    emit_trace t (Ipi { src; dst = v.id });
-    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:t.p.zy_ipi_latency t.fn_ipi v.id in
-    ()
-  end
+  (if not v.ipi_pending then begin
+     v.ipi_pending <- true;
+     t.ipis_sent <- t.ipis_sent + 1;
+     if tracing t then (emit_trace t (Ipi { src; dst = v.id }) [@zygos.allow "hot-alloc"]);
+     let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:t.p.zy_ipi_latency t.fn_ipi v.id in
+     ()
+   end)
+[@@zygos.hot]
 
 and deliver_ipi t v =
   v.ipi_pending <- false;
@@ -144,7 +162,8 @@ and deliver_ipi t v =
         else 0
       in
       let batches = RQ.drain v.remote in
-      if rx_count > 0 || batches <> [] then begin
+      let have_batches = match batches with [] -> false | _ :: _ -> true in
+      if rx_count > 0 || have_batches then begin
         let t0 = Sim.now t.sim +. t.p.zy_ipi_handler in
         let after_rx = t0 +. (float_of_int (rx_count * t.p.rpc_packets) *. t.p.dp_rx) in
         if rx_count > 0 then begin
@@ -181,7 +200,8 @@ and pop_hw t v ~limit =
 and transmit_batches t ~home ~from batches =
   List.fold_left
     (fun clock { pcb; reqs } ->
-      emit_trace t (Remote_tx { home; conn = Sched.conn pcb; responses = List.length reqs });
+      if tracing t then
+        emit_trace t (Remote_tx { home; conn = Sched.conn pcb; responses = List.length reqs });
       let clock =
         List.fold_left
           (fun clock req ->
@@ -199,9 +219,10 @@ and transmit_batches t ~home ~from batches =
 (* ---- the per-core scheduler loop ---- *)
 
 and step t c =
-  assert (c.cur_handle = None);
-  if not (try_drain_remote t c) then
-    if not (try_dispatch t c) then if not (try_rx t c) then go_idle t c
+  (assert (c.cur_handle = Sim.no_handle);
+   if not (try_drain_remote t c) then
+     if not (try_dispatch t c) then if not (try_rx t c) then go_idle t c)
+[@@zygos.hot]
 
 and try_drain_remote t c =
   match RQ.drain c.remote with
@@ -223,12 +244,14 @@ and try_dispatch t c =
   | Some (pcb, batch, source) ->
       (match source with
       | Sched.Local ->
-          emit_trace t
-            (Dispatch_local { core = c.id; conn = Sched.conn pcb; events = List.length batch });
+          if tracing t then
+            emit_trace t
+              (Dispatch_local { core = c.id; conn = Sched.conn pcb; events = List.length batch });
           process_batch t c pcb batch ~stolen_from:None
       | Sched.Stolen v ->
-          emit_trace t
-            (Steal { thief = c.id; victim = v; conn = Sched.conn pcb; events = List.length batch });
+          if tracing t then
+            emit_trace t
+              (Steal { thief = c.id; victim = v; conn = Sched.conn pcb; events = List.length batch });
           process_batch t c pcb batch ~stolen_from:(Some v));
       true
 
@@ -240,7 +263,7 @@ and process_batch t c pcb batch ~stolen_from =
   let rec exec completed = function
     | [] -> end_of_batch t c pcb (List.rev completed) ~stolen_from
     | req :: rest ->
-        let steal_cost = if !first && stolen_from <> None then t.p.zy_steal else 0. in
+        let steal_cost = if !first && Option.is_some stolen_from then t.p.zy_steal else 0. in
         first := false;
         req.Request.started <- Sim.now t.sim;
         let user_cost = steal_cost +. t.p.zy_shuffle +. req.Request.service in
@@ -274,41 +297,55 @@ and end_of_batch t c pcb completed ~stolen_from =
       step t c
 
 and try_rx t c =
-  if Net.Ring.is_empty c.hw then false
-  else begin
-    let k = min t.p.zy_rx_batch (Net.Ring.length c.hw) in
-    let cost = t.p.dp_loop +. (float_of_int (k * t.p.rpc_packets) *. t.p.dp_rx) in
-    (* A core runs one rx segment at a time, so parking the batch size on
-       the core (for the preallocated [k_rx] continuation) is safe. *)
-    c.rx_pending <- k;
-    start_segment t c ~mode:Mkernel ~cost ~finish:c.k_rx;
-    true
-  end
+  (if Net.Ring.is_empty c.hw then false
+   else begin
+     let k = min t.p.zy_rx_batch (Net.Ring.length c.hw) in
+     let cost = t.p.dp_loop +. (float_of_int (k * t.p.rpc_packets) *. t.p.dp_rx) in
+     (* A core runs one rx segment at a time, so parking the batch size on
+        the core (for the preallocated [k_rx] continuation) is safe. *)
+     c.rx_pending <- k;
+     start_segment t c ~mode:Mkernel ~cost ~finish:c.k_rx;
+     true
+   end)
+[@@zygos.hot]
 
 and go_idle t c =
-  c.mode <- Midle;
-  (* Work-conservation invariant: this core just scanned every shuffle
-     queue and found nothing; if anything is ready now, the scheduler
-     failed to be work conserving. *)
-  if Sched.has_ready t.sched then t.wc_violations <- t.wc_violations + 1;
-  if t.p.zy_interrupts then scan_and_ipi t c
+  (c.mode <- Midle;
+   (* Work-conservation invariant: this core just scanned every shuffle
+      queue and found nothing; if anything is ready now, the scheduler
+      failed to be work conserving. *)
+   if Sched.has_ready t.sched then t.wc_violations <- t.wc_violations + 1;
+   if t.p.zy_interrupts then scan_and_ipi t c)
+[@@zygos.hot]
 
 (* Idle-loop steps (c)/(d) of §5: look at other cores' pending packet
    queues; when a busy-at-user core has packets but an empty shuffle
    queue, interrupt it so it replenishes the shuffle queue for stealing. *)
 and scan_and_ipi t c =
-  let order = victim_order t c in
-  Array.iter
-    (fun vid ->
-      let v = t.zcores.(vid) in
-      if v.mode = Muser then begin
-        let packets_blocked =
-          (not (Net.Ring.is_empty v.hw)) && Sched.queue_length t.sched ~core:vid = 0
-        in
-        let syscalls_blocked = not (RQ.is_empty v.remote) in
-        if packets_blocked || syscalls_blocked then send_ipi t ~src:c.id v
-      end)
-    order
+  (* for-loop over the victim order, not Array.iter: the iter closure
+     would capture [t]/[c] and be rebuilt per idle transition. *)
+  (let order = victim_order t c in
+   for k = 0 to Array.length order - 1 do
+     let vid = order.(k) in
+     let v = t.zcores.(vid) in
+     if v.mode = Muser then begin
+       let packets_blocked =
+         (not (Net.Ring.is_empty v.hw)) && Sched.queue_length t.sched ~core:vid = 0
+       in
+       let syscalls_blocked = not (RQ.is_empty v.remote) in
+       if packets_blocked || syscalls_blocked then send_ipi t ~src:c.id v
+     end
+   done)
+[@@zygos.hot]
+
+(* Deliver a popped rx batch to the scheduler, request by request; a
+   top-level rec loop instead of [List.iter (fun req -> ...)], which
+   would allocate the closure per rx event. *)
+let rec deliver_batch t = function
+  | [] -> ()
+  | req :: rest ->
+      Sched.deliver t.sched t.pcbs.(req.Request.conn) req;
+      deliver_batch t rest
 
 let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
   let p = Params.validate p in
@@ -325,8 +362,8 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
           remote = RQ.create ();
           policy = Core.Steal_policy.create ~rng:(Engine.Rng.split rng) ~cores:p.cores ~self:id;
           mode = Midle;
-          cur_handle = None;
-          cur_finish = None;
+          cur_handle = Sim.no_handle;
+          cur_finish = no_finish;
           cur_done_at = 0.;
           ipi_pending = false;
           wake_scheduled = false;
@@ -361,42 +398,47 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
   t.fn_segment_done <-
     (fun id ->
       let c = t.zcores.(id) in
-      c.cur_handle <- None;
-      match c.cur_finish with
-      | Some finish ->
-          c.cur_finish <- None;
-          finish ()
-      | None -> assert false);
+      c.cur_handle <- Sim.no_handle;
+      let finish = c.cur_finish in
+      assert (finish != no_finish);
+      (* Scrub before running: the continuation may start a new segment,
+         and a retained closure would be a space leak. *)
+      c.cur_finish <- no_finish;
+      finish ()) [@zygos.hot];
   t.fn_wake <-
     (fun id ->
       let c = t.zcores.(id) in
       c.wake_scheduled <- false;
-      if c.mode = Midle && c.cur_handle = None then step t c);
-  t.fn_ipi <- (fun id -> deliver_ipi t t.zcores.(id));
+      if c.mode = Midle && c.cur_handle = Sim.no_handle then step t c) [@zygos.hot];
+  t.fn_ipi <- (fun id -> deliver_ipi t t.zcores.(id)) [@zygos.hot];
   t.fn_ipi_rx <-
     (fun packed ->
       let v = t.zcores.(packed land 0xffff) in
       let rx_count = packed lsr 16 in
       let rx_batch = pop_hw t v ~limit:rx_count in
-      emit_trace t (Rx { core = v.id; packets = List.length rx_batch });
-      List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) rx_batch;
-      wake_idlers t ~delay:t.p.zy_poll_delay);
+      (if tracing t then
+         (emit_trace t (Rx { core = v.id; packets = List.length rx_batch })
+         [@zygos.allow "hot-alloc"]));
+      deliver_batch t rx_batch;
+      wake_idlers t ~delay:t.p.zy_poll_delay) [@zygos.hot];
   t.fn_remote_release <-
     (fun conn ->
       Sched.complete t.sched t.pcbs.(conn);
-      wake_idlers t ~delay:t.p.zy_poll_delay);
+      wake_idlers t ~delay:t.p.zy_poll_delay) [@zygos.hot];
   Array.iter
     (fun c ->
       c.k_step <- (fun () -> step t c);
       c.k_rx <-
         (fun () ->
           let batch = pop_hw t c ~limit:c.rx_pending in
-          emit_trace t (Rx { core = c.id; packets = List.length batch });
-          List.iter (fun req -> Sched.deliver t.sched t.pcbs.(req.Request.conn) req) batch;
+          (if tracing t then
+             (emit_trace t (Rx { core = c.id; packets = List.length batch })
+             [@zygos.allow "hot-alloc"]));
+          deliver_batch t batch;
           wake_idlers t ~delay:t.p.zy_poll_delay;
-          step t c))
+          step t c) [@zygos.hot])
     t.zcores;
-  let submit req =
+  let[@zygos.hot] submit req =
     let c = t.zcores.(Sched.home t.pcbs.(req.Request.conn)) in
     if Net.Ring.push c.hw req then begin
       match c.mode with

@@ -1,0 +1,314 @@
+(* Tests for tool/zygoscope: each rule fires on a minimal bad fixture at
+   the expected line, stays quiet on the good variant, and every
+   suppression mechanism ([@zygos.allow], [@zygos.owned], floating
+   [@@@zygos.allow]) downgrades the finding to suppressed-but-recorded.
+   The end-to-end case runs the real analyzer over the built library
+   tree and proves both directions of the gate: zero active findings,
+   and a non-empty suppressed set covering every documented annotation
+   site — deleting any one of those annotations would surface an active
+   finding and fail [dune build @lint]. *)
+
+module Lint = Zygoscope_lib.Lint
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let analyze ?enabled ?r1 ?r4 ~name code =
+  Lint.analyze_structure ?enabled ?r1 ?r4 ~file:name (Lint.typecheck_string ~name code)
+
+let show f = Format.asprintf "%a" Lint.pp_finding f
+
+let show_all fs = String.concat "\n" (List.map show fs)
+
+(* Assert the active findings are exactly [(rule, line)] pairs, in order. *)
+let check_active what expected findings =
+  let got = List.map (fun f -> (f.Lint.rule, f.Lint.line)) (Lint.active findings) in
+  if got <> expected then
+    Alcotest.failf "%s: expected %s, got:\n%s" what
+      (String.concat "; "
+         (List.map
+            (fun (r, l) -> Printf.sprintf "%s@%d" (Lint.rule_name r) l)
+            expected))
+      (show_all (Lint.active findings))
+
+(* ---- R1: determinism ---- *)
+
+let fixture_r1 =
+  {|
+let elapsed () = Sys.time ()
+let roll () = Random.int 6
+let digest x = Hashtbl.hash x
+let table () : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+let fine () : (int, int) Hashtbl.t = Hashtbl.create 16
+let own_rng seed = (seed * 25214903917) + 11
+|}
+
+let test_r1_fires () =
+  let fs = analyze ~r1:true ~name:"fixture_r1.ml" fixture_r1 in
+  check_active "r1"
+    [ (Lint.R1, 2); (Lint.R1, 3); (Lint.R1, 4); (Lint.R1, 5) ]
+    fs
+
+let test_r1_scoped_off_outside_deterministic_dirs () =
+  (* Same code, applicability derived from the file path: lib/runtime is
+     allowlisted, bin/ is out of scope entirely. *)
+  List.iter
+    (fun file -> check_active file [] (analyze ~name:file fixture_r1))
+    [ "lib/runtime/pool.ml"; "bin/main.ml" ]
+
+let test_r1_active_in_deterministic_dirs () =
+  let fs = analyze ~name:"lib/engine/sim.ml" fixture_r1 in
+  Alcotest.(check int) "derived applicability" 4 (List.length (Lint.active fs))
+
+(* ---- R2: hot-path allocation ---- *)
+
+let fixture_r2 =
+  {|
+let[@zygos.hot] mk_tuple x = (x, x)
+let[@zygos.hot] mk_some x = Some x
+let[@zygos.hot] mk_closure x = let g y = x + y in g
+let[@zygos.hot] mk_partial (a : int array) = Array.unsafe_set a 0
+let fns : (int -> unit) array = Array.make 4 ignore
+let[@zygos.hot] full_app_returning_fn i = Array.unsafe_get fns i
+let[@zygos.hot] cold_branch x = if x < 0 then failwith (String.concat "" ["n"; "eg"]) else x
+let not_hot x = (x, Some x)
+|}
+
+let test_r2_fires () =
+  let fs = analyze ~name:"fixture_r2.ml" fixture_r2 in
+  check_active "r2"
+    [ (Lint.R2, 2); (Lint.R2, 3); (Lint.R2, 4); (Lint.R2, 5) ]
+    fs
+
+(* Regression for the arity check: a full application whose *result* is
+   a function (['a] instantiated to an arrow) must not be read as a
+   partial application — line 7 above —, while a genuine partial
+   application (line 5) must. *)
+let test_r2_arity_regression () =
+  let fs = analyze ~name:"fixture_r2.ml" fixture_r2 in
+  let at line = List.filter (fun f -> f.Lint.line = line) (Lint.active fs) in
+  Alcotest.(check int) "unsafe_get returning fn is full" 0 (List.length (at 7));
+  Alcotest.(check int) "unsafe_set missing an arg is partial" 1 (List.length (at 5))
+
+(* ---- R3: polymorphic operations ---- *)
+
+let fixture_r3 =
+  {|
+let eq_int (a : int) b = a = b
+let eq_str (a : string) b = a = b
+let cmp_pair (a : int * int) b = compare a b
+let min_float (a : float) b = min a b
+let sort_poly (l : (int * int) list) = List.sort compare l
+let mem_str (x : string) l = List.mem x l
+let mem_int (x : int) l = List.mem x l
+|}
+
+let test_r3_fires () =
+  let fs = analyze ~name:"fixture_r3.ml" fixture_r3 in
+  (* int (immediate) and string = (directly specialized) pass; the boxed
+     pair, min (never specialized, even at float), compare-as-a-value and
+     List.mem at string fire. *)
+  check_active "r3"
+    [ (Lint.R3, 4); (Lint.R3, 5); (Lint.R3, 6); (Lint.R3, 7) ]
+    fs
+
+let test_r3_local_shadow_ignored () =
+  (* A local value that happens to be called [min]/[max] is not the
+     stdlib polymorphic operation. *)
+  let fs =
+    analyze ~name:"fixture_r3b.ml"
+      {|
+let pick ~min ~max (s : string) = if String.length s > max then min else s
+|}
+  in
+  check_active "r3 shadow" [] fs
+
+(* ---- R4: domain-safety ---- *)
+
+let fixture_r4 =
+  {|
+type counter = { mutable n : int }
+type documented = { mutable m : int [@zygos.owned "test fixture"] }
+type atomics = { hits : int Atomic.t; lock : Mutex.t }
+let total = ref 0
+let bump () = total := !total + 1
+let local_acc xs = let acc = ref 0 in List.iter (fun x -> acc := !acc + x) xs; !acc
+|}
+
+let test_r4_fires () =
+  let fs = analyze ~r4:true ~name:"fixture_r4.ml" fixture_r4 in
+  (* the bare mutable field and the module-level ref fire; the
+     [@zygos.owned] field is suppressed; Atomic.t/Mutex.t fields and the
+     function-local accumulator ref pass. *)
+  check_active "r4" [ (Lint.R4, 2); (Lint.R4, 5) ] fs;
+  let sup = Lint.suppressed_of fs in
+  Alcotest.(check int) "owned field recorded as suppressed" 1 (List.length sup);
+  Alcotest.(check int) "owned suppression on line 3" 3 (List.nth sup 0).Lint.line
+
+let test_r4_off_by_default_elsewhere () =
+  check_active "r4 off" [] (analyze ~name:"lib/stats/tally.ml" fixture_r4)
+
+(* ---- R5: Obj ---- *)
+
+let test_r5_fires () =
+  let fs =
+    analyze ~name:"fixture_r5.ml" {|
+let peek (x : int list) = Obj.repr x
+|}
+  in
+  check_active "r5" [ (Lint.R5, 2) ] fs
+
+(* ---- suppression mechanics ---- *)
+
+let test_allow_suppresses_and_is_load_bearing () =
+  let with_allow =
+    {|
+let stamp () = (Sys.time () [@zygos.allow "determinism"])
+|}
+  in
+  let without_allow = {|
+let stamp () = Sys.time ()
+|} in
+  let fs = analyze ~r1:true ~name:"fixture_allow.ml" with_allow in
+  check_active "allow: nothing active" [] fs;
+  Alcotest.(check int) "allow: recorded as suppressed" 1
+    (List.length (Lint.suppressed_of fs));
+  (* Deleting the annotation turns the same code into an active finding:
+     the suppression is load-bearing, not dead. *)
+  let fs' = analyze ~r1:true ~name:"fixture_allow.ml" without_allow in
+  check_active "allow removed: finding is active" [ (Lint.R1, 2) ] fs'
+
+let test_floating_allow_covers_file () =
+  let fs =
+    analyze ~name:"fixture_floating.ml"
+      {|
+[@@@zygos.allow "poly-compare"]
+
+let worst (a : int * int) b = min a b
+|}
+  in
+  check_active "floating allow" [] fs;
+  Alcotest.(check int) "still recorded" 1 (List.length (Lint.suppressed_of fs))
+
+let test_hot_alloc_allow () =
+  let fs =
+    analyze ~name:"fixture_hot_allow.ml"
+      {|
+let[@zygos.hot] emit x = (Some x [@zygos.allow "hot-alloc"])
+|}
+  in
+  check_active "hot allow" [] fs;
+  Alcotest.(check int) "recorded" 1 (List.length (Lint.suppressed_of fs))
+
+let test_rule_selection () =
+  (* --rules narrows the enabled set: with only R3 enabled the R1 hit in
+     the same fixture is not even recorded. *)
+  let code = {|
+let both () = ignore (Sys.time ()); min (1, 2) (3, 4)
+|} in
+  let only_r3 = analyze ~enabled:[ Lint.R3 ] ~r1:true ~name:"fixture_rules.ml" code in
+  Alcotest.(check int) "one R3 finding" 1 (List.length (Lint.active only_r3));
+  Alcotest.(check bool) "it is R3" true
+    (List.for_all (fun f -> f.Lint.rule = Lint.R3) (Lint.active only_r3));
+  let only_r1 = analyze ~enabled:[ Lint.R1 ] ~r1:true ~name:"fixture_rules.ml" code in
+  Alcotest.(check bool) "only R1" true
+    (List.for_all (fun f -> f.Lint.rule = Lint.R1) (Lint.active only_r1))
+
+let test_unknown_rule_names () =
+  Alcotest.(check bool) "r1..r5 resolve" true
+    (List.for_all
+       (fun s -> Option.is_some (Lint.rule_of_string s))
+       [ "r1"; "determinism"; "r2"; "hot-alloc"; "r3"; "poly-compare";
+         "r4"; "domain-safety"; "r5"; "obj" ]);
+  Alcotest.(check bool) "junk does not" true (Option.is_none (Lint.rule_of_string "r9"))
+
+(* ---- end to end over the built library tree ---- *)
+
+(* Documented suppression sites: a representative annotation per file.
+   If someone deletes one, the corresponding finding becomes active and
+   [dune build @lint] fails; this test pins the inventory. *)
+let documented_suppressions =
+  [
+    ("lib/runtime/pool.ml", Lint.R4);
+    ("lib/runtime/executor.ml", Lint.R4);
+    ("lib/experiments/sweep.ml", Lint.R4);
+    ("lib/experiments/figures.ml", Lint.R1);
+    ("lib/experiments/appserve.ml", Lint.R1);
+    ("lib/net/loadgen.ml", Lint.R2);
+    ("lib/systems/zygos.ml", Lint.R2);
+    ("lib/systems/preemptive.ml", Lint.R2);
+  ]
+
+let test_lib_tree_clean () =
+  (* cwd is _build/default/test under [dune runtest], the workspace root
+     under [dune exec] — probe both. *)
+  let root =
+    List.find_opt Sys.file_exists [ "../lib"; "_build/default/lib" ]
+    |> function
+    | Some r -> r
+    | None ->
+        Alcotest.failf "built library tree not found (cwd %s)" (Sys.getcwd ())
+  in
+  let cmts = Lint.find_cmts [] root in
+  Alcotest.(check bool)
+    (Printf.sprintf "found %d cmts" (List.length cmts))
+    true
+    (List.length cmts > 30);
+  let all =
+    List.concat_map
+      (fun path ->
+        match Lint.analyze_cmt path with
+        | Ok r -> r.Lint.findings
+        | Error e -> Alcotest.failf "%s" e)
+      cmts
+  in
+  (match Lint.active all with
+  | [] -> ()
+  | fs -> Alcotest.failf "active findings in lib/:\n%s" (show_all fs));
+  let sup = Lint.suppressed_of all in
+  Alcotest.(check bool) "suppressed set non-empty" true (List.length sup > 0);
+  List.iter
+    (fun (file, rule) ->
+      if
+        not
+          (List.exists
+             (fun (f : Lint.finding) -> contains f.Lint.file file && f.Lint.rule = rule)
+             sup)
+      then
+        Alcotest.failf
+          "no suppressed %s finding recorded in %s: either the annotation was \
+           deleted together with the code it covered (update \
+           documented_suppressions) or suppression tracking broke"
+          (Lint.rule_name rule) file)
+    documented_suppressions
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 fires" `Quick test_r1_fires;
+          Alcotest.test_case "R1 scope off" `Quick test_r1_scoped_off_outside_deterministic_dirs;
+          Alcotest.test_case "R1 scope on" `Quick test_r1_active_in_deterministic_dirs;
+          Alcotest.test_case "R2 fires" `Quick test_r2_fires;
+          Alcotest.test_case "R2 arity regression" `Quick test_r2_arity_regression;
+          Alcotest.test_case "R3 fires" `Quick test_r3_fires;
+          Alcotest.test_case "R3 shadow" `Quick test_r3_local_shadow_ignored;
+          Alcotest.test_case "R4 fires" `Quick test_r4_fires;
+          Alcotest.test_case "R4 scope off" `Quick test_r4_off_by_default_elsewhere;
+          Alcotest.test_case "R5 fires" `Quick test_r5_fires;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "allow is load-bearing" `Quick
+            test_allow_suppresses_and_is_load_bearing;
+          Alcotest.test_case "floating allow" `Quick test_floating_allow_covers_file;
+          Alcotest.test_case "hot-alloc allow" `Quick test_hot_alloc_allow;
+          Alcotest.test_case "rule selection" `Quick test_rule_selection;
+          Alcotest.test_case "rule names" `Quick test_unknown_rule_names;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "lib/ tree clean" `Quick test_lib_tree_clean ] );
+    ]

@@ -90,6 +90,35 @@ let test_steals_happen_under_imbalance () =
   Alcotest.(check bool) "batch counters consistent" true
     (stats.Executor.local_batches + stats.Executor.stolen_batches > 0)
 
+(* N domains x M tasks through the work-stealing pool: every task runs
+   exactly once (per-task atomic counters), results land at their own
+   index regardless of steal order, and the per-worker run counts sum to
+   the task count. This is the behavioral contract behind the
+   [@zygos.owned "lock-protected"] annotations on the pool's deque
+   head/tail fields. *)
+let test_pool_exactly_once () =
+  let tasks_n = 2000 and workers = 4 in
+  let ran = Array.init tasks_n (fun _ -> Atomic.make 0) in
+  let tasks =
+    Array.init tasks_n (fun i () ->
+        (* occasional jitter so owners and thieves interleave *)
+        if i land 127 = 0 then Spin.busy_wait_us 30.;
+        ignore (Atomic.fetch_and_add ran.(i) 1 : int);
+        i * 3)
+  in
+  let results, stats = Runtime.Pool.run ~workers ~tasks in
+  Alcotest.(check int) "points" tasks_n stats.Runtime.Pool.points;
+  Array.iteri
+    (fun i r -> if r <> i * 3 then Alcotest.failf "task %d: result %d" i r)
+    results;
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n <> 1 then Alcotest.failf "task %d ran %d times" i n)
+    ran;
+  Alcotest.(check int) "run_counts sum to task count" tasks_n
+    (Array.fold_left ( + ) 0 stats.Runtime.Pool.run_counts)
+
 let test_spin_waits () =
   let t0 = Spin.now_us () in
   Spin.busy_wait_us 2_000.;
@@ -110,5 +139,7 @@ let () =
           Alcotest.test_case "drain" `Quick test_drain_blocks_until_done;
           Alcotest.test_case "steal counters" `Quick test_steals_happen_under_imbalance;
         ] );
+      ( "pool",
+        [ Alcotest.test_case "exactly-once under stealing" `Quick test_pool_exactly_once ] );
       ("spin", [ Alcotest.test_case "busy wait" `Quick test_spin_waits ]);
     ]

@@ -1,0 +1,801 @@
+(* zygoscope — a typedtree-based invariant linter for the ZygOS repro.
+
+   The repository's three load-bearing guarantees — byte-identical
+   figures across seeds/queues/-j, zero minor words per event on the
+   simulation hot path, and safe OCaml 5 domain parallelism — are
+   enforced dynamically by goldens and test_perf_guard.ml. This pass is
+   their static counterpart: it walks the .cmt typedtrees dune already
+   produces and rejects whole *classes* of regressions at build time,
+   the same shape of guarantee ZygOS itself argues for (eliminate
+   interference up front rather than measure it after the fact).
+
+   Rules (each individually toggleable):
+
+   - R1 "determinism": wall-clock and nondeterminism primitives
+     (Unix.gettimeofday / Unix.time / Sys.time, stdlib Random.*,
+     Hashtbl.hash*, Hashtbl.create ~random:true) are banned inside the
+     simulation-deterministic libraries (lib/{engine,systems,models,net,
+     stats,experiments}). lib/runtime is allowlisted: it is the live
+     wall-clock layer by design.
+   - R2 "hot-alloc": inside functions annotated [@zygos.hot], typedtree
+     nodes that allocate are flagged — closure/fun introduction, partial
+     application, tuple/record/variant/array construction, lazy/letop,
+     and let-bound floats captured by an inner closure (which forces the
+     float into a box). Branches that statically raise (invalid_arg /
+     failwith / raise / assert false) are cold paths and exempt.
+   - R3 "poly-compare": polymorphic =, <>, compare, min, max and
+     List.{mem,assoc,assoc_opt,mem_assoc,remove_assoc} at types the
+     compiler cannot prove immediate (for directly applied =/<>/compare,
+     types it cannot specialize: int/char/bool/unit plus float/string/
+     bytes/int32/int64/nativeint) are banned everywhere in lib/.
+   - R4 "domain-safety": in code that touches the domain layer
+     (lib/runtime, plus any module that submits work to Runtime.Pool or
+     Runtime.Executor), non-Atomic mutable record fields and ref cells
+     are flagged unless the declaration carries [@zygos.owned],
+     documenting single-owner (or lock-protected) discipline.
+   - R5 "obj": Obj.* is banned outright everywhere in lib/.
+
+   Suppression: [@zygos.allow "<rules>"] on an expression, value
+   binding, type declaration or record label suppresses the named rules
+   (comma/space separated; "all" suppresses everything) for that
+   subtree; [@@@zygos.allow "<rules>"] suppresses for the rest of the
+   file. [@zygos.owned "<why>"] is R4's dedicated suppression.
+   Suppressed findings are still *recorded* (with [suppressed = true]),
+   so tests can prove that deleting any one annotation would turn the
+   site into a hard failure.
+
+   The analysis is intraprocedural: a call to an allocating (or
+   nondeterministic) helper is not traced into the callee. That is the
+   usual static-analysis trade; the dynamic perf guard still backstops
+   whole-path behavior. *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_code = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_name = function
+  | R1 -> "determinism"
+  | R2 -> "hot-alloc"
+  | R3 -> "poly-compare"
+  | R4 -> "domain-safety"
+  | R5 -> "obj"
+
+let rule_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "r1" | "determinism" -> Some [ R1 ]
+  | "r2" | "hot-alloc" | "hot_alloc" | "hotalloc" -> Some [ R2 ]
+  | "r3" | "poly-compare" | "poly_compare" | "polycompare" -> Some [ R3 ]
+  | "r4" | "domain-safety" | "domain_safety" | "domainsafety" -> Some [ R4 ]
+  | "r5" | "obj" -> Some [ R5 ]
+  | "all" -> Some all_rules
+  | _ -> None
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+  suppressed : bool;  (* an in-scope [@zygos.allow]/[@zygos.owned] covers it *)
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: %s[%s %s] %s" f.file f.line f.col
+    (if f.suppressed then "(suppressed) " else "")
+    (rule_code f.rule) (rule_name f.rule) f.msg
+
+(* ---- attribute helpers ---- *)
+
+let string_payload (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let split_rules s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun x -> String.trim x <> "")
+
+(* Rules suppressed by a zygos.allow / zygos.owned attribute list.
+   Unknown rule names in an allow payload are reported loudly (to stderr)
+   rather than silently ignored — a typo must not disable a suppression. *)
+let allows_of_attributes ?(warn = prerr_endline) attrs =
+  List.concat_map
+    (fun (attr : Parsetree.attribute) ->
+      match attr.attr_name.txt with
+      | "zygos.allow" -> (
+          match string_payload attr with
+          | None ->
+              warn "zygoscope: [@zygos.allow] without a string payload is ignored";
+              []
+          | Some s ->
+              List.concat_map
+                (fun tok ->
+                  match rule_of_string tok with
+                  | Some rs -> rs
+                  | None ->
+                      warn
+                        (Printf.sprintf
+                           "zygoscope: unknown rule %S in [@zygos.allow] payload" tok);
+                      [])
+                (split_rules s))
+      | "zygos.owned" -> [ R4 ]
+      | _ -> [])
+    attrs
+
+let has_attr name attrs =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+
+let has_hot attrs = has_attr "zygos.hot" attrs
+
+(* ---- path / ident helpers ---- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Normalize a resolved path name: Stdlib.Random.int -> Random.int, and
+   the flattened Stdlib__Random.int spelling likewise. *)
+let norm_path p =
+  let s = Path.name p in
+  let strip pre s =
+    if String.length s > String.length pre && String.sub s 0 (String.length pre) = pre
+    then String.sub s (String.length pre) (String.length s - String.length pre)
+    else s
+  in
+  let s = strip "Stdlib__" (strip "Stdlib." s) in
+  (* Stdlib__Random.int -> Random.int keeps the submodule dot intact. *)
+  s
+
+(* A bare value named [min]/[compare]/... only counts as the polymorphic
+   stdlib operation when the path actually resolves into Stdlib — a local
+   binding that shadows (or merely shares) the name must not fire R3/R4. *)
+let in_stdlib p =
+  let s = Path.name p in
+  starts_with ~prefix:"Stdlib." s || starts_with ~prefix:"Stdlib__" s
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---- per-file analysis context ---- *)
+
+type ctx = {
+  file : string;
+  enabled : rule list;
+  r1_active : bool;
+  r4_active : bool;
+  mutable hot : int;  (* > 0 inside a [@zygos.hot] body *)
+  mutable fun_depth : int;  (* > 0 inside any function body *)
+  mutable stack : rule list list;  (* suppression scopes *)
+  mutable file_allows : rule list;  (* from floating [@@@zygos.allow] *)
+  mutable findings : finding list;
+}
+
+let rule_enabled ctx = function
+  | R1 -> ctx.r1_active && List.memq R1 ctx.enabled
+  | R4 -> ctx.r4_active && List.memq R4 ctx.enabled
+  | r -> List.memq r ctx.enabled
+
+let suppressed ctx r =
+  List.memq r ctx.file_allows || List.exists (List.memq r) ctx.stack
+
+let report ctx rule (loc : Location.t) msg =
+  if rule_enabled ctx rule then
+    let p = loc.loc_start in
+    ctx.findings <-
+      {
+        file = ctx.file;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule;
+        msg;
+        suppressed = suppressed ctx rule;
+      }
+      :: ctx.findings
+
+let push ctx allows = ctx.stack <- allows :: ctx.stack
+
+let pop ctx = match ctx.stack with [] -> () | _ :: tl -> ctx.stack <- tl
+
+(* ---- type classification (for R3) ---- *)
+
+type imm = Immediate | Specialized | Boxed | Unknown
+
+(* Conservative immediacy of [ty] as seen at a use site. Alias expansion
+   and cross-module enum lookups go through the (possibly summary-only)
+   environment; any failure degrades to Unknown, which is treated as
+   not-provably-immediate. *)
+let classify env ty =
+  let env = try Envaux.env_of_only_summary env with _ -> env in
+  let ty = try Ctype.expand_head env ty with _ -> ty in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      if
+        Path.same p Predef.path_int || Path.same p Predef.path_char
+        || Path.same p Predef.path_bool || Path.same p Predef.path_unit
+      then Immediate
+      else if
+        Path.same p Predef.path_float || Path.same p Predef.path_string
+        || Path.same p Predef.path_bytes || Path.same p Predef.path_int32
+        || Path.same p Predef.path_int64 || Path.same p Predef.path_nativeint
+      then Specialized
+      else (
+        try
+          let decl = Env.find_type p env in
+          match decl.Types.type_immediate with
+          | Type_immediacy.Always -> Immediate
+          | _ -> Boxed
+        with _ -> Unknown)
+  | Types.Tvar _ | Types.Tunivar _ -> Unknown
+  | _ -> Boxed
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* Polymorphic stdlib operations R3 watches, keyed by normalized path.
+   [specializable] marks the ones the native compiler rewrites to a
+   monomorphic primitive when directly applied at a known base type. *)
+let poly_ops =
+  [
+    ("=", true);
+    ("<>", true);
+    ("compare", true);
+    ("min", false);
+    ("max", false);
+    ("List.mem", false);
+    ("List.assoc", false);
+    ("List.assoc_opt", false);
+    ("List.mem_assoc", false);
+    ("List.remove_assoc", false);
+  ]
+
+let raising_fns = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg"; "exit" ]
+
+(* ---- the walker ---- *)
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let is_arrow_ty ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let first_arrow_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+(* Declared arity of a value's *generic* type scheme: arrows up to the
+   first non-arrow head. A [Tvar] result instantiated to an arrow at a
+   use site does not count, so [Array.unsafe_get fns i] with [fns : (int
+   -> unit) array] is recognized as a full (non-allocating) application
+   even though its result is a function. *)
+let rec scheme_arity ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, rest, _) -> 1 + scheme_arity rest
+  | Types.Tpoly (ty, _) -> scheme_arity ty
+  | _ -> 0
+
+let rec is_raising (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+      List.mem (norm_path p) raising_fns
+  | Texp_assert ({ exp_desc = Texp_construct (_, { cstr_name = "false"; _ }, _); _ }, _)
+    ->
+      true
+  | Texp_sequence (_, e2) -> is_raising e2
+  | Texp_let (_, _, body) -> is_raising body
+  | _ -> false
+
+let expr_mentions_construct name (e : Typedtree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          (match x.exp_desc with
+          | Texp_construct (_, cd, _) when cd.cstr_name = name -> found := true
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Does [id] occur underneath a [fun]/[function] inside [body]? If a
+   let-bound float is captured by an inner closure it must be boxed. *)
+let captured_by_closure id (body : Typedtree.expression) =
+  let found = ref false in
+  let depth = ref 0 in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          match x.exp_desc with
+          | Texp_function _ ->
+              incr depth;
+              Tast_iterator.default_iterator.expr sub x;
+              decr depth
+          | Texp_ident (Path.Pident i, _, _) when !depth > 0 && Ident.same i id ->
+              found := true
+          | _ -> Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  it.expr it body;
+  !found
+
+(* Scan a structure for references that put the file in R4 scope: any
+   mention of the Runtime.Pool / Runtime.Executor modules means closures
+   from this file cross domain boundaries. *)
+let references_domain_layer (str : Typedtree.structure) =
+  let found = ref false in
+  let check_name s =
+    if
+      contains_sub s "Runtime.Pool" || contains_sub s "Runtime.Executor"
+      || contains_sub s "Runtime__Pool" || contains_sub s "Runtime__Executor"
+    then found := true
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          (match x.exp_desc with
+          | Texp_ident (p, _, _) -> check_name (Path.name p)
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub x);
+      module_expr =
+        (fun sub m ->
+          (match m.mod_desc with
+          | Tmod_ident (p, _) -> check_name (Path.name p)
+          | _ -> ());
+          Tast_iterator.default_iterator.module_expr sub m);
+    }
+  in
+  it.structure it str;
+  !found
+
+let atomic_like_types =
+  [ "Atomic.t"; "Stdlib.Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t";
+    "Semaphore.Binary.t" ]
+
+let core_type_is_atomic (ct : Typedtree.core_type) =
+  match ct.ctyp_desc with
+  | Ttyp_constr (p, _, _) ->
+      let n = Path.name p in
+      List.exists (fun a -> n = a || contains_sub n a) atomic_like_types
+  | _ -> false
+
+let make_iterator ctx =
+  let default = Tast_iterator.default_iterator in
+
+  (* ---- rule bodies ---- *)
+  let check_r1_ident loc name =
+    let banned_exact = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ] in
+    let banned_hash = [ "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ] in
+    if List.mem name banned_exact then
+      report ctx R1 loc
+        (Printf.sprintf "%s reads the wall clock inside a simulation-deterministic library"
+           name)
+    else if starts_with ~prefix:"Random." name then
+      report ctx R1 loc
+        (Printf.sprintf
+           "stdlib %s is nondeterministically seeded state; use Engine.Rng streams" name)
+    else if List.mem name banned_hash then
+      report ctx R1 loc (Printf.sprintf "%s is not stable across OCaml versions" name)
+  in
+  let check_r5_ident loc name =
+    if starts_with ~prefix:"Obj." name then
+      report ctx R5 loc (Printf.sprintf "%s breaks the type system; banned outright" name)
+  in
+  (* [direct] = the operation is the head of a full application, where the
+     compiler specializes =/<>/compare at known base types. *)
+  let check_r3 loc name ~direct ~specializable env arg_ty =
+    let verdict =
+      match arg_ty with None -> Unknown | Some ty -> classify env ty
+    in
+    let ok =
+      match verdict with
+      | Immediate -> true
+      | Specialized -> direct && specializable
+      | Boxed | Unknown -> false
+    in
+    if not ok then
+      let tys =
+        match arg_ty with
+        | Some ty -> Printf.sprintf " at type %s" (type_to_string ty)
+        | None -> ""
+      in
+      report ctx R3 loc
+        (Printf.sprintf
+           "polymorphic %s%s%s; use a monomorphic comparison (e.g. String.equal / \
+            Float.min / an explicit match)"
+           name tys
+           (match verdict with
+           | Unknown -> " (cannot prove the type immediate)"
+           | _ -> ""))
+  in
+  let check_poly_ident loc p name ~direct env arg_ty =
+    if in_stdlib p then
+      match List.assoc_opt name poly_ops with
+      | None -> ()
+      | Some specializable -> check_r3 loc name ~direct ~specializable env arg_ty
+  in
+
+  let hot_node_checks (e : Typedtree.expression) =
+    if ctx.hot > 0 then
+      match e.exp_desc with
+      | Texp_function _ ->
+          report ctx R2 e.exp_loc "closure allocated on the hot path"
+      | Texp_tuple _ -> report ctx R2 e.exp_loc "tuple allocated on the hot path"
+      | Texp_construct (_, cd, args) when args <> [] ->
+          report ctx R2 e.exp_loc
+            (Printf.sprintf "constructor %s allocates a block on the hot path"
+               cd.cstr_name)
+      | Texp_record _ -> report ctx R2 e.exp_loc "record allocated on the hot path"
+      | Texp_array (_ :: _) -> report ctx R2 e.exp_loc "array literal allocated on the hot path"
+      | Texp_lazy _ -> report ctx R2 e.exp_loc "lazy block allocated on the hot path"
+      | Texp_letop _ -> report ctx R2 e.exp_loc "binding operator allocates on the hot path"
+      | Texp_pack _ -> report ctx R2 e.exp_loc "first-class module allocated on the hot path"
+      | Texp_object _ -> report ctx R2 e.exp_loc "object allocated on the hot path"
+      | _ -> ()
+  in
+
+  (* Unwrap the parameter chain of a hot function: the outer fun nodes are
+     the function's own arity, allocated once at definition site, not per
+     call. Guards and nested bodies are visited hot. *)
+  let rec visit_hot_body it (e : Typedtree.expression) =
+    push ctx (allows_of_attributes e.exp_attributes);
+    (match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        ctx.fun_depth <- ctx.fun_depth + 1;
+        List.iter
+          (fun (c : _ Typedtree.case) ->
+            it.Tast_iterator.pat it c.c_lhs;
+            Option.iter (it.Tast_iterator.expr it) c.c_guard;
+            visit_hot_body it c.c_rhs)
+          cases;
+        ctx.fun_depth <- ctx.fun_depth - 1
+    | _ -> it.Tast_iterator.expr it e);
+    pop ctx
+  in
+
+  let enter_hot it e =
+    if ctx.hot = 0 then begin
+      ctx.hot <- 1;
+      visit_hot_body it e;
+      ctx.hot <- 0
+    end
+    else visit_hot_body it e
+  in
+
+  let expr it (e : Typedtree.expression) =
+    let allows = allows_of_attributes e.exp_attributes in
+    push ctx allows;
+    (if has_hot e.exp_attributes then enter_hot it e
+     else if ctx.hot > 0 && is_raising e then begin
+       (* Statically raising branch: cold path, exempt from R2 (but the
+          other rules still apply inside). *)
+       let h = ctx.hot in
+       ctx.hot <- 0;
+       default.expr it e;
+       ctx.hot <- h
+     end
+     else begin
+       hot_node_checks e;
+       match e.exp_desc with
+       | Texp_function _ ->
+           ctx.fun_depth <- ctx.fun_depth + 1;
+           default.expr it e;
+           ctx.fun_depth <- ctx.fun_depth - 1
+       | Texp_apply (({ exp_desc = Texp_ident (p, _, vd); _ } as hd), args) ->
+           let name = norm_path p in
+           check_r1_ident hd.exp_loc name;
+           check_r5_ident hd.exp_loc name;
+           (* Hashtbl.create ~random:true (or a random flag we cannot
+              prove false) seeds the hash nondeterministically. *)
+           (if name = "Hashtbl.create" then
+              List.iter
+                (fun (lbl, arg) ->
+                  match (lbl, arg) with
+                  | (Asttypes.Labelled "random" | Asttypes.Optional "random"), Some a ->
+                      (* Omitted optional args show up as a compiler-built
+                         [None] with a ghost location — only an explicit
+                         [true] in the payload is a finding. *)
+                      if expr_mentions_construct "true" a then
+                        report ctx R1 a.exp_loc
+                          "Hashtbl.create ~random:true randomizes iteration order"
+                  | _ -> ())
+                args);
+           let first_arg_ty =
+             List.find_map
+               (fun (lbl, arg) ->
+                 match (lbl, arg) with
+                 | Asttypes.Nolabel, Some (a : Typedtree.expression) -> Some a.exp_type
+                 | _ -> None)
+               args
+           in
+           let first_arg_ty =
+             match first_arg_ty with
+             | Some t -> Some t
+             | None -> first_arrow_arg hd.exp_type
+           in
+           check_poly_ident hd.exp_loc p name ~direct:true e.exp_env first_arg_ty;
+           (* Only module-level refs: those are the globals every domain can
+              reach. Function-local refs are owned by their frame unless
+              captured, which the field/record rule covers at the type. *)
+           if name = "ref" && in_stdlib p && ctx.fun_depth = 0 then
+             report ctx R4 e.exp_loc
+               "module-level ref cell reachable from domain-crossing code; use Atomic.t \
+                or annotate the owner with [@zygos.owned]";
+           if ctx.hot > 0 then begin
+             if List.exists (fun (_, a) -> a = None) args then
+               report ctx R2 e.exp_loc
+                 "partial application (omitted argument) allocates a closure on the hot \
+                  path"
+             else if is_arrow_ty e.exp_type && List.length args < scheme_arity vd.val_type
+             then
+               (* [args] shorter than the declared arity: a genuine partial
+                  application. A full application whose *result* is a
+                  function (arrow from a [Tvar] instantiation) passes. *)
+               report ctx R2 e.exp_loc
+                 "partial application allocates a closure on the hot path"
+           end;
+           List.iter (fun (_, a) -> Option.iter (it.Tast_iterator.expr it) a) args
+       | Texp_apply (hd, args) ->
+           if ctx.hot > 0 && is_arrow_ty e.exp_type then
+             report ctx R2 e.exp_loc
+               "partial application allocates a closure on the hot path";
+           it.Tast_iterator.expr it hd;
+           List.iter (fun (_, a) -> Option.iter (it.Tast_iterator.expr it) a) args
+       | Texp_ident (p, _, _) ->
+           let name = norm_path p in
+           check_r1_ident e.exp_loc name;
+           check_r5_ident e.exp_loc name;
+           (* A polymorphic comparison passed as a value (List.sort compare)
+              is never specialized, whatever the type. *)
+           check_poly_ident e.exp_loc p name ~direct:false e.exp_env
+             (first_arrow_arg e.exp_type);
+           if name = "ref" && in_stdlib p && ctx.fun_depth = 0 then
+             report ctx R4 e.exp_loc
+               "module-level ref cell reachable from domain-crossing code; use Atomic.t \
+                or annotate the owner with [@zygos.owned]"
+       | Texp_match (({ exp_desc = Texp_tuple els; _ } as scrut), cases, _) ->
+           (* [match a, b with] compiles to direct accesses — the literal
+              tuple scrutinee is never built. *)
+           push ctx (allows_of_attributes scrut.exp_attributes);
+           List.iter (it.Tast_iterator.expr it) els;
+           pop ctx;
+           List.iter
+             (fun (c : _ Typedtree.case) ->
+               it.Tast_iterator.pat it c.c_lhs;
+               Option.iter (it.Tast_iterator.expr it) c.c_guard;
+               it.Tast_iterator.expr it c.c_rhs)
+             cases
+       | Texp_let (_, vbs, body) ->
+           if ctx.hot > 0 then
+             List.iter
+               (fun (vb : Typedtree.value_binding) ->
+                 match vb.vb_pat.pat_desc with
+                 | Tpat_var (id, _) when is_float_ty vb.vb_expr.exp_type ->
+                     if captured_by_closure id body then
+                       report ctx R2 vb.vb_pat.pat_loc
+                         (Printf.sprintf
+                            "float %s is captured by a closure and must be boxed on the \
+                             hot path"
+                            (Ident.name id))
+                 | _ -> ())
+               vbs;
+           default.expr it e
+       | _ -> default.expr it e
+     end);
+    pop ctx
+  in
+
+  let value_binding it (vb : Typedtree.value_binding) =
+    let attrs = vb.vb_attributes @ vb.vb_pat.pat_attributes in
+    push ctx (allows_of_attributes attrs);
+    it.Tast_iterator.pat it vb.vb_pat;
+    if has_hot attrs then enter_hot it vb.vb_expr
+    else it.Tast_iterator.expr it vb.vb_expr;
+    pop ctx
+  in
+
+  let type_declaration it (td : Typedtree.type_declaration) =
+    push ctx (allows_of_attributes td.typ_attributes);
+    (match td.typ_kind with
+    | Ttype_record lds ->
+        List.iter
+          (fun (ld : Typedtree.label_declaration) ->
+            if ld.ld_mutable = Asttypes.Mutable && not (core_type_is_atomic ld.ld_type)
+            then begin
+              push ctx (allows_of_attributes ld.ld_attributes);
+              report ctx R4 ld.ld_loc
+                (Printf.sprintf
+                   "mutable field %s is reachable from domain-crossing code; make it \
+                    Atomic.t or document the single-owner discipline with [@zygos.owned]"
+                   ld.ld_name.txt);
+              pop ctx
+            end)
+          lds
+    | _ -> ());
+    default.type_declaration it td;
+    pop ctx
+  in
+
+  let structure_item it (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Tstr_attribute attr ->
+        ctx.file_allows <- allows_of_attributes [ attr ] @ ctx.file_allows
+    | _ -> ());
+    default.structure_item it si
+  in
+
+  {
+    default with
+    Tast_iterator.expr;
+    value_binding;
+    type_declaration;
+    structure_item;
+  }
+
+(* ---- entry points ---- *)
+
+let deterministic_dirs =
+  [ "lib/engine"; "lib/systems"; "lib/models"; "lib/net"; "lib/stats"; "lib/experiments" ]
+
+let norm_file f =
+  String.map (fun c -> if c = '\\' then '/' else c) f
+
+let r1_active_for_file file =
+  let f = norm_file file in
+  List.exists (fun d -> contains_sub f (d ^ "/")) deterministic_dirs
+  && not (contains_sub f "lib/runtime/")
+
+let r4_active_for_file file str =
+  contains_sub (norm_file file) "lib/runtime/" || references_domain_layer str
+
+(* Analyze one typedtree. [r1]/[r4] force rule applicability (tests use
+   this); by default applicability is derived from [file] and, for R4,
+   from whether the structure references the domain layer. *)
+let analyze_structure ?(enabled = all_rules) ?r1 ?r4 ~file (str : Typedtree.structure) =
+  let ctx =
+    {
+      file;
+      enabled;
+      r1_active = (match r1 with Some b -> b | None -> r1_active_for_file file);
+      r4_active = (match r4 with Some b -> b | None -> r4_active_for_file file str);
+      hot = 0;
+      fun_depth = 0;
+      stack = [];
+      file_allows = [];
+      findings = [];
+    }
+  in
+  let it = make_iterator ctx in
+  it.structure it str;
+  List.sort
+    (fun a b ->
+      match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+    (List.rev ctx.findings)
+
+let active fs = List.filter (fun f -> not f.suppressed) fs
+let suppressed_of fs = List.filter (fun f -> f.suppressed) fs
+
+(* ---- cmt loading ---- *)
+
+let load_path_initialized = ref false
+
+let init_load_path dirs =
+  if not !load_path_initialized then begin
+    Load_path.init ~auto_include:Load_path.no_auto_include [ Config.standard_library ];
+    load_path_initialized := true
+  end;
+  List.iter Load_path.add_dir dirs
+
+(* Make the cmt's recorded (relative) load-path entries absolute so env
+   reconstruction works from any cwd. They are relative to the dune
+   context root at build time, but [cmt_builddir] may be stale (the tree
+   can have been built under a different mount point), so recover the
+   context root from the cmt's own location: its directory ends with one
+   of the recorded entries (its own objs dir). Fall back to builddir,
+   then cwd. *)
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  m <= n && String.sub s (n - m) m = suffix
+
+let cmt_dirs cmt_path (cmt : Cmt_format.cmt_infos) =
+  let entries = List.filter (fun d -> d <> "") cmt.cmt_loadpath in
+  let cmt_dir = norm_file (Filename.dirname cmt_path) in
+  let root =
+    List.find_map
+      (fun d ->
+        if Filename.is_relative d && ends_with ~suffix:(norm_file d) cmt_dir then
+          Some (String.sub cmt_dir 0 (String.length cmt_dir - String.length d))
+        else None)
+      entries
+  in
+  List.map
+    (fun d ->
+      if not (Filename.is_relative d) then d
+      else
+        let candidates =
+          (match root with Some r -> [ Filename.concat r d ] | None -> [])
+          @ [ Filename.concat cmt.cmt_builddir d; d ]
+        in
+        match List.find_opt Sys.file_exists candidates with
+        | Some abs -> abs
+        | None -> Filename.concat cmt.cmt_builddir d)
+    entries
+
+type cmt_result = {
+  source : string;
+  findings : finding list;
+}
+
+let analyze_cmt ?(enabled = all_rules) ?r1 ?r4 path =
+  match Cmt_format.read_cmt path with
+  | exception e ->
+      Error (Printf.sprintf "%s: cannot read cmt (%s)" path (Printexc.to_string e))
+  | cmt -> (
+      match cmt.cmt_annots with
+      | Implementation str ->
+          init_load_path (cmt_dirs path cmt);
+          Envaux.reset_cache ();
+          let source =
+            match cmt.cmt_sourcefile with Some s -> s | None -> path
+          in
+          Ok { source; findings = analyze_structure ~enabled ?r1 ?r4 ~file:source str }
+      | _ -> Ok { source = path; findings = [] })
+
+let rec find_cmts acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> find_cmts acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* ---- in-process typechecking (for tests and fixtures) ---- *)
+
+let typecheck_initialized = ref false
+
+let typecheck_string ~name code =
+  if not !typecheck_initialized then begin
+    Clflags.dont_write_files := true;
+    Compmisc.init_path ();
+    load_path_initialized := true;
+    typecheck_initialized := true
+  end;
+  let lb = Lexing.from_string code in
+  Location.init lb name;
+  let past = Parse.implementation lb in
+  let env = Compmisc.initial_env () in
+  match Typemod.type_structure env past with
+  | str, _, _, _, _ -> str
+  | exception e ->
+      let msg =
+        match Location.error_of_exn e with
+        | Some (`Ok err) -> Format.asprintf "%a" Location.print_report err
+        | _ -> Printexc.to_string e
+      in
+      failwith (Printf.sprintf "zygoscope: fixture %s does not typecheck:\n%s" name msg)

@@ -1,0 +1,109 @@
+(* zygoscope CLI — walk .cmt files (or directories containing them),
+   run the Lint rules, print compiler-style diagnostics, exit non-zero
+   on active (unsuppressed) findings.
+
+   Usage: zygoscope [--rules r1,r3] [--show-suppressed] [--no-suppressions] PATH... *)
+
+module Lint = Zygoscope_lib.Lint
+
+let usage =
+  "zygoscope [OPTIONS] PATH...\n\
+   Static invariant linter over dune-produced .cmt typedtrees.\n\
+   PATH may be a .cmt file or a directory searched recursively.\n\n\
+  \  --rules LIST       comma-separated subset (r1|determinism, r2|hot-alloc,\n\
+  \                     r3|poly-compare, r4|domain-safety, r5|obj); default all\n\
+  \  --show-suppressed  also print findings silenced by [@zygos.allow]/[@zygos.owned]\n\
+  \  --no-suppressions  treat suppressed findings as active (audit mode)\n"
+
+let () =
+  let paths = ref [] in
+  let rules = ref Lint.all_rules in
+  let show_suppressed = ref false in
+  let no_suppressions = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--rules" :: spec :: rest ->
+        let rs =
+          String.split_on_char ',' spec
+          |> List.concat_map (fun tok ->
+                 match Lint.rule_of_string tok with
+                 | Some rs -> rs
+                 | None ->
+                     Printf.eprintf "zygoscope: unknown rule %S\n%s" tok usage;
+                     exit 2)
+        in
+        rules := List.sort_uniq compare rs;
+        parse rest
+    | "--show-suppressed" :: rest ->
+        show_suppressed := true;
+        parse rest
+    | "--no-suppressions" :: rest ->
+        no_suppressions := true;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        print_string usage;
+        exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "zygoscope: unknown option %s\n%s" arg usage;
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    Printf.eprintf "zygoscope: no paths given\n%s" usage;
+    exit 2
+  end;
+  let cmts =
+    List.concat_map
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          Printf.eprintf "zygoscope: %s: no such file or directory\n" p;
+          exit 2
+        end;
+        Lint.find_cmts [] p)
+      (List.rev !paths)
+    |> List.sort_uniq compare
+  in
+  if cmts = [] then begin
+    Printf.eprintf "zygoscope: no .cmt files under the given paths\n";
+    exit 2
+  end;
+  let errors = ref 0 in
+  let findings =
+    List.concat_map
+      (fun cmt ->
+        match Lint.analyze_cmt ~enabled:!rules cmt with
+        | Ok r -> r.Lint.findings
+        | Error msg ->
+            Printf.eprintf "zygoscope: %s\n" msg;
+            incr errors;
+            [])
+      cmts
+  in
+  let findings =
+    if !no_suppressions then
+      List.map (fun f -> { f with Lint.suppressed = false }) findings
+    else findings
+  in
+  let active = Lint.active findings in
+  let shown =
+    if !show_suppressed then findings else active
+  in
+  let shown =
+    List.sort
+      (fun (a : Lint.finding) b ->
+        match compare a.file b.file with
+        | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+        | c -> c)
+      shown
+  in
+  List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) shown;
+  let n = List.length active in
+  if n > 0 then
+    Format.printf "zygoscope: %d finding%s in %d file%s@." n
+      (if n = 1 then "" else "s")
+      (List.length cmts)
+      (if List.length cmts = 1 then "" else "s");
+  if !errors > 0 then exit 2 else if n > 0 then exit 1 else exit 0
