@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig7 table1  -- selected targets
      dune exec bench/main.exe -- -j 4 fig6    -- sweep points on 4 domains
-     dune exec bench/main.exe -- --json       -- also write BENCH_PR4.json
+     dune exec bench/main.exe -- --json       -- also write BENCH_PR7.json
      ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
 
 let scale =
@@ -29,14 +29,14 @@ let default_jobs =
    (boxed heap entries, per-record [log]): median of three Bechamel runs
    of the seed implementation under the exact bench bodies below (depth-512
    heap, varying-magnitude histogram samples), 1s quota, same machine.
-   BENCH_PR4.json reports current numbers next to these so the trajectory
+   BENCH_PR7.json reports current numbers next to these so the trajectory
    is visible without checking out the old commit. *)
 let seed_baseline_ns = [ ("engine: heap push+pop", 221.0); ("stats: histogram record", 14.4) ]
 
 (* PR 3's BENCH_PR3.json numbers for the engine hot-path benches this PR
    (closure-free dispatch + timing wheel) targets, same machine and
    quota (re-verified against a PR-3 checkout on the current machine:
-   87.5 / 105.0); BENCH_PR4.json reports the improvement against these.
+   87.5 / 105.0); BENCH_PR7.json reports the improvement against these.
    The wheel and schedule_fn rows are keyed to the PR-3 numbers of what
    they replace on the hot path: the wheel supersedes the heap as the
    default queue, and the closure-free cycle supersedes the closure
@@ -48,6 +48,20 @@ let pr3_baseline_ns =
     ("engine: wheel push+pop", 105.187);
     ("sim: schedule+cancel+fire cycle", 88.0986);
     ("sim: schedule_fn+cancel+fire cycle", 88.0986);
+  ]
+
+(* PR 4's BENCH_PR4.json numbers on the same machine and quota: the rack
+   tier added in this PR routes every request through the engine hot path
+   (dispatch timers, estimate refreshes, per-server event streams), so
+   these rows guard against the cluster layer taxing the single-server
+   fast path it composes over. *)
+let pr4_baseline_ns =
+  [
+    ("engine: heap push+pop", 104.287);
+    ("engine: wheel push+pop", 31.4413);
+    ("sim: schedule+cancel+fire cycle", 75.4381);
+    ("sim: schedule_fn+cancel+fire cycle", 60.7865);
+    ("experiments: ns per simulated request", 2647.66);
   ]
 
 (* ---- Bechamel microbenchmarks ---- *)
@@ -468,7 +482,7 @@ let sweep_bench ~jobs ~scale =
       ("steals", float_of_int par_stats.Runtime.Pool.steals);
     ]
 
-(* ---- BENCH_PR4.json: the perf trajectory future PRs regress against ---- *)
+(* ---- BENCH_PR7.json: the perf trajectory future PRs regress against ---- *)
 
 let write_trajectory ~path ~scale ~micro ~wall_clock =
   let open Experiments.Output.Json in
@@ -484,6 +498,7 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
   in
   let improvements = improve_against seed_baseline_ns in
   let improvements_pr3 = improve_against pr3_baseline_ns in
+  let improvements_pr4 = improve_against pr4_baseline_ns in
   let totals = Experiments.Sweep.read_totals () in
   let pool_totals =
     [
@@ -506,6 +521,8 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
         ("improvement_vs_seed", number_map improvements);
         ("pr3_baseline_ns_per_op", number_map pr3_baseline_ns);
         ("improvement_vs_pr3", number_map improvements_pr3);
+        ("pr4_baseline_ns_per_op", number_map pr4_baseline_ns);
+        ("improvement_vs_pr4", number_map improvements_pr4);
         ("equeue_ns_per_op", number_map !last_equeue);
         ("sweep_pool", number_map pool_totals);
         ("sweep_parallel", number_map !last_sweep_parallel);
@@ -598,5 +615,5 @@ let () =
        totals.Experiments.Sweep.steals totals.Experiments.Sweep.busy_s
        totals.Experiments.Sweep.wall_s totals.Experiments.Sweep.workers);
   if json_mode then
-    write_trajectory ~path:"BENCH_PR4.json" ~scale ~micro:!last_micro_rows
+    write_trajectory ~path:"BENCH_PR7.json" ~scale ~micro:!last_micro_rows
       ~wall_clock:(List.rev !wall_clock)

@@ -87,9 +87,11 @@ let () =
     | names ->
         List.iter
           (fun n ->
-            if not (List.mem_assoc n Experiments.Figures.all_targets) then begin
-              Printf.eprintf "unknown target %S\n" n;
-              usage ()
+            let known (name, _) = String.equal name n in
+            if not (List.exists known Experiments.Figures.all_targets) then begin
+              Printf.eprintf "unknown target %S\nvalid targets: %s all\n" n
+                (String.concat " " (List.map fst Experiments.Figures.all_targets));
+              exit 2
             end)
           names;
         names

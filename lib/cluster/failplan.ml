@@ -1,0 +1,81 @@
+type event =
+  | Crash of { server : int; start : float; duration : float }
+  | Blackhole of { server : int; start : float; duration : float }
+  | Degraded of { server : int; slowdown : float; start : float; duration : float }
+
+type t = event list
+
+let none : t = []
+
+let server_of = function
+  | Crash { server; _ } | Blackhole { server; _ } | Degraded { server; _ } -> server
+
+let validate ~servers plan =
+  let window what server start duration =
+    if server < 0 || server >= servers then
+      invalid_arg (Printf.sprintf "Failplan: %s server %d outside rack of %d" what server servers);
+    if Float.is_nan start || start < 0. then
+      invalid_arg (Printf.sprintf "Failplan: %s start < 0" what);
+    if Float.is_nan duration || duration <= 0. then
+      invalid_arg (Printf.sprintf "Failplan: %s duration <= 0" what)
+  in
+  List.iter
+    (function
+      | Crash { server; start; duration } -> window "crash" server start duration
+      | Blackhole { server; start; duration } -> window "blackhole" server start duration
+      | Degraded { server; slowdown; start; duration } ->
+          window "degraded" server start duration;
+          if Float.is_nan slowdown || slowdown < 1. then
+            invalid_arg "Failplan: degraded slowdown < 1")
+    plan;
+  (* One blackhole window per server: the per-link fault plan carries a
+     single partition window (Net.Faults), so a second one would be
+     silently ignored. *)
+  let rec dup_blackhole seen = function
+    | [] -> ()
+    | Blackhole { server; _ } :: rest ->
+        if List.mem server seen then
+          invalid_arg
+            (Printf.sprintf "Failplan: multiple blackhole windows for server %d" server);
+        dup_blackhole (server :: seen) rest
+    | (Crash _ | Degraded _) :: rest -> dup_blackhole seen rest
+  in
+  dup_blackhole [] plan
+
+(* Is [server] inside one of its crash windows at [now]? O(plan length);
+   plans are a handful of events, and the dispatcher caches nothing so a
+   window opening mid-run needs no extra machinery. *)
+let crashed plan ~server ~now =
+  List.exists
+    (function
+      | Crash { server = s; start; duration } ->
+          s = server && now >= start && now < start +. duration
+      | Blackhole _ | Degraded _ -> false)
+    plan
+
+let has_crash plan ~server =
+  List.exists
+    (function Crash { server = s; _ } -> s = server | Blackhole _ | Degraded _ -> false)
+    plan
+
+(* Link-level fault plan for [server]'s ingress path: the blackhole window
+   becomes a Net.Faults partition. [None] when the server has no
+   blackhole, so fault-free links are composed out entirely. *)
+let link_plan plan ~server =
+  List.find_map
+    (function
+      | Blackhole { server = s; start; duration } when s = server ->
+          Some (Net.Faults.plan ~blackhole:(start, start +. duration) ())
+      | Blackhole _ | Crash _ | Degraded _ -> None)
+    plan
+
+(* Straggler specs for [server]'s intra-server params: a degraded server
+   runs every one of its cores [slowdown]x slower inside the window —
+   the rack-level fault intra-server work stealing cannot absorb. *)
+let stragglers plan ~server ~cores =
+  List.concat_map
+    (function
+      | Degraded { server = s; slowdown; start; duration } when s = server ->
+          List.init cores (fun core -> Core.Corefault.{ core; start; duration; slowdown })
+      | Degraded _ | Crash _ | Blackhole _ -> [])
+    plan

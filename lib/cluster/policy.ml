@@ -1,0 +1,95 @@
+type t =
+  | Static_hash
+  | Random
+  | Po2
+  | Jsq
+  | Jbsq of int
+
+let name = function
+  | Static_hash -> "hash"
+  | Random -> "random"
+  | Po2 -> "po2"
+  | Jsq -> "jsq"
+  | Jbsq n -> Printf.sprintf "jbsq-%d" n
+
+let validate = function
+  | Jbsq n when n < 1 -> invalid_arg "Policy: Jbsq bound < 1"
+  | Static_hash | Random | Po2 | Jsq | Jbsq _ -> ()
+
+let bound = function Jbsq n -> n | Static_hash | Random | Po2 | Jsq -> max_int
+
+let queue_aware = function
+  | Static_hash | Random -> false
+  | Po2 | Jsq | Jbsq _ -> true
+
+(* Index of the [j]-th (0-based) routable server. The caller guarantees
+   there are more than [j]; scanning is O(n) with n = rack size (single
+   digits), so no precomputed set is kept. *)
+let nth_routable ~routable ~n j =
+  let rec go i remaining =
+    if i >= n then invalid_arg "Policy: routable count changed underfoot"
+    else if routable i then if remaining = 0 then i else go (i + 1) (remaining - 1)
+    else go (i + 1) remaining
+  in
+  go 0 j
+
+let count_routable ~routable ~n =
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if routable i then incr k
+  done;
+  !k
+
+(* Lowest-index routable server with the smallest estimate. *)
+let argmin_estimate ~estimate ~routable ~n =
+  let best = ref (-1) in
+  let best_e = ref infinity in
+  for i = 0 to n - 1 do
+    if routable i then begin
+      let e = estimate i in
+      if !best < 0 || e < !best_e then begin
+        best := i;
+        best_e := e
+      end
+    end
+  done;
+  !best
+
+let choose t ~rss ~rng ~estimate ~routable ~n ~conn =
+  if n = 1 then if routable 0 then 0 else -1
+  else
+    match t with
+    | Static_hash ->
+        (* Flow-consistent: the ToR applies the same Toeplitz/indirection
+           hashing a NIC would, over the rack instead of over queues. A
+           down home server falls through to the next index (rehash by
+           linear probing) so hashing can still fail over when the caller
+           masks servers out. *)
+        let home = Net.Rss.queue_of_conn rss conn in
+        let rec probe k =
+          if k >= n then -1
+          else
+            let i = (home + k) mod n in
+            if routable i then i else probe (k + 1)
+        in
+        probe 0
+    | Random ->
+        let k = count_routable ~routable ~n in
+        if k = 0 then -1 else nth_routable ~routable ~n (Engine.Rng.int rng k)
+    | Po2 ->
+        let k = count_routable ~routable ~n in
+        if k = 0 then -1
+        else if k = 1 then nth_routable ~routable ~n 0
+        else begin
+          (* Two distinct candidates (sampling without replacement), then
+             the shorter estimated queue; ties go to the first draw. *)
+          let a = Engine.Rng.int rng k in
+          let b =
+            let b = Engine.Rng.int rng (k - 1) in
+            if b >= a then b + 1 else b
+          in
+          let ia = nth_routable ~routable ~n a in
+          let ib = nth_routable ~routable ~n b in
+          if estimate ib < estimate ia then ib else ia
+        end
+    | Jsq | Jbsq _ -> argmin_estimate ~estimate ~routable ~n

@@ -1,0 +1,82 @@
+(** The rack tier: N independent server instances behind one ToR
+    dispatcher — the two-level scheduling composition (inter-server
+    policy over intra-server systems) of RackSched, built from this
+    repository's existing single-server models unchanged.
+
+    The rack presents itself as a single {!Systems.Iface.t}, so the load
+    generator and the sweep machinery treat it exactly like one big
+    server. Inside, each request passes:
+
+    + the {!Dispatch} policy layer (server choice, JBSQ credits,
+      detection timers, hedging);
+    + the server's crash filter: requests arriving inside a
+      [Failplan.Crash] window are lost ([rack_lost_requests]);
+    + the server's ingress link, which carries its [Failplan.Blackhole]
+      window as a {!Net.Faults} partition (composed out entirely for
+      servers with no blackhole);
+    + the server system itself (any [make_server] — Linux, IX, ZygOS),
+      whose [Failplan.Degraded] windows the caller applies as
+      {!Core.Corefault} stragglers when building it.
+
+    Responses flow back through the crash filter (suppressed inside a
+    window: [rack_lost_responses]) into {!Dispatch.on_response}.
+
+    {b Determinism.} [create] splits the caller's [rng] in a fixed
+    order — one stream per server (index order), then the dispatcher's,
+    then one per faulted link — so a 1-server rack with a zero failure
+    plan consumes exactly the splits a bare single-server run does and
+    reproduces it byte for byte (the degeneracy pinned by
+    [test_cluster]). *)
+
+type config = {
+  servers : int;
+  policy : Policy.t;
+  feedback_delay : float;  (** estimate staleness (µs); 0 = exact *)
+  feedback_until : float;  (** last sim time estimates refresh *)
+  detect : Dispatch.detect option;
+  hedge : float option;
+  failplan : Failplan.t;
+}
+
+val config :
+  ?feedback_delay:float ->
+  ?feedback_until:float ->
+  ?detect:Dispatch.detect ->
+  ?hedge:float ->
+  ?failplan:Failplan.t ->
+  servers:int ->
+  policy:Policy.t ->
+  unit ->
+  config
+(** Validates everything ([servers >= 1], the policy, the failure plan);
+    raises [Invalid_argument] otherwise. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  config ->
+  rng:Engine.Rng.t ->
+  make_server:
+    (i:int -> rng:Engine.Rng.t -> respond:(Net.Request.t -> unit) -> Systems.Iface.t) ->
+  respond:(Net.Request.t -> unit) ->
+  t
+(** [make_server ~i ~rng ~respond] builds server [i]'s system instance;
+    it must route every completed request to [respond] (the rack's
+    egress for that server) and draw randomness only from [rng]. The
+    rack's [respond] receives exactly one response per logical request
+    (the dispatcher de-duplicates failover/hedge copies). *)
+
+val iface : t -> Systems.Iface.t
+(** The rack as a single server: [submit] dispatches, [info] merges the
+    dispatcher's counters, rack-level loss counters ([rack_servers],
+    [rack_lost_requests], [rack_lost_responses]), summed link-fault
+    counters, and the key-wise sum of all per-server system counters. *)
+
+val dispatch : t -> Dispatch.t
+
+val server : t -> int -> Systems.Iface.t
+
+val lost_requests : t -> int
+
+val lost_responses : t -> int

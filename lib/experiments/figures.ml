@@ -921,6 +921,176 @@ let chaos ~jobs ~scale =
     ~columns:[ "policy"; "load"; "goodput(MRPS)"; "tput(MRPS)"; "p99(us)"; "shed" ]
     ~rows
 
+(* Rack-scale two-level scheduling (RackSched over our single-server
+   models): N servers behind a ToR dispatcher, compared against the
+   rack-wide M/G/(N*cores) centralized bound, under estimate staleness
+   and injected server failures. *)
+let rack ~jobs ~scale =
+  let servers = 4 in
+  let service = Dist.exponential 10. in
+  let req = requests ~scale 20_000 in
+  let policies =
+    Cluster.Policy.[ Static_hash; Random; Po2; Jsq; Jbsq 32 ]
+  in
+  let pname = Cluster.Policy.name in
+  let rcfg ?(policy = Cluster.Policy.Jsq) ?feedback_delay ?detect ?hedge ?failplan ?slo
+      ~seed () =
+    Rackrun.config ~servers ~system:Run.Zygos ~cores ~requests:req ~seed ?feedback_delay
+      ?detect ?hedge ?failplan ?slo ~policy ~service ()
+  in
+  Output.print_header
+    (Printf.sprintf
+       "Rack: %d x zygos-16 behind a ToR dispatcher (exp, S = 10us) vs M/G/%d bound"
+       servers (servers * cores));
+  (* (a) inter-server policy x load, 5us-stale estimates *)
+  let loads_a = [ 0.3; 0.5; 0.7; 0.85; 0.95 ] in
+  let points_a =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun load ->
+            Sweep.point
+              ~key:(Printf.sprintf "rack/policy/%s/%g" (pname policy) load)
+              (fun ~seed ->
+                let p = Rackrun.run (rcfg ~policy ~feedback_delay:5. ~seed ()) ~load in
+                [
+                  pname policy;
+                  Output.f2 load;
+                  Output.f3 p.Run.throughput;
+                  Output.f1 p.Run.p99;
+                  Output.f1 p.Run.p999;
+                ]))
+          loads_a)
+      policies
+    @ List.map
+        (fun load ->
+          Sweep.point
+            ~key:(Printf.sprintf "rack/bound/%g" load)
+            (fun ~seed ->
+              let p = Rackrun.central_bound (rcfg ~seed ()) ~load in
+              [
+                "central-bound";
+                Output.f2 load;
+                Output.f3 p.Run.throughput;
+                Output.f1 p.Run.p99;
+                Output.f1 p.Run.p999;
+              ]))
+        loads_a
+  in
+  let rows = Sweep.run ~jobs ~seed:master_seed points_a in
+  Output.print_subheader "policy x load (5us feedback delay)";
+  Output.print_table
+    ~columns:[ "policy"; "load"; "tput(MRPS)"; "p99(us)"; "p999(us)" ]
+    ~rows;
+  (* (b) estimate staleness at fixed load: queue-aware policies degrade
+     as feedback lags; jbsq's credit gate keeps the bound exact *)
+  let points_b =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun delay ->
+            Sweep.point
+              ~key:(Printf.sprintf "rack/stale/%s/%g" (pname policy) delay)
+              (fun ~seed ->
+                let p = Rackrun.run (rcfg ~policy ~feedback_delay:delay ~seed ()) ~load:0.85 in
+                [ pname policy; Output.f1 delay; Output.f1 p.Run.p99; Output.f1 p.Run.p999 ]))
+          [ 0.; 5.; 25.; 100. ])
+      Cluster.Policy.[ Po2; Jsq; Jbsq 32 ]
+  in
+  let rows = Sweep.run ~jobs ~seed:master_seed points_b in
+  Output.print_subheader "estimate staleness x policy (load 0.85)";
+  Output.print_table ~columns:[ "policy"; "delay(us)"; "p99(us)"; "p999(us)" ] ~rows;
+  (* (c) one degraded server: queue-aware policies route around the
+     rack-scale straggler that static hashing keeps feeding *)
+  let points_c =
+    List.map
+      (fun policy ->
+        Sweep.point
+          ~key:(Printf.sprintf "rack/degraded/%s" (pname policy))
+          (fun ~seed ->
+            let load = 0.6 in
+            let rate = load *. float_of_int (servers * cores) /. Dist.mean service in
+            let measure = float_of_int req /. rate in
+            let clean = Rackrun.run (rcfg ~policy ~feedback_delay:5. ~seed ()) ~load in
+            let failplan =
+              [
+                Cluster.Failplan.Degraded
+                  {
+                    server = 0;
+                    slowdown = 10.;
+                    start = 0.2 *. measure;
+                    duration = 0.25 *. measure;
+                  };
+              ]
+            in
+            let p = Rackrun.run (rcfg ~policy ~feedback_delay:5. ~failplan ~seed ()) ~load in
+            [
+              pname policy;
+              Output.f1 clean.Run.p99;
+              Output.f1 p.Run.p99;
+              Output.f2 (p.Run.p99 /. Float.max 1e-9 clean.Run.p99);
+            ]))
+      policies
+  in
+  let rows = Sweep.run ~jobs ~seed:master_seed points_c in
+  Output.print_subheader
+    "one degraded server (server 0 at 10x for 25% of the run, load 0.6)";
+  Output.print_table
+    ~columns:[ "policy"; "p99 clean(us)"; "p99 degraded(us)"; "degradation" ]
+    ~rows;
+  (* (d) server crash: timeout detection + failover re-dispatch recover
+     the goodput a crash window would otherwise swallow *)
+  let detect =
+    Cluster.Dispatch.
+      {
+        retry = Net.Loadgen.retry ~timeout:300. ~max_retries:3 ();
+        health = Cluster.Health.config ();
+      }
+  in
+  let points_d =
+    List.map
+      (fun (label, policy, detect, hedge) ->
+        Sweep.point
+          ~key:(Printf.sprintf "rack/crash/%s" label)
+          (fun ~seed ->
+            let load = 0.5 in
+            let rate = load *. float_of_int (servers * cores) /. Dist.mean service in
+            let measure = float_of_int req /. rate in
+            let failplan =
+              [
+                Cluster.Failplan.Crash
+                  { server = 0; start = 0.3 *. measure; duration = 0.25 *. measure };
+              ]
+            in
+            let cfg = rcfg ~policy ?detect ?hedge ~failplan ~slo:1000. ~seed () in
+            let p = Rackrun.run cfg ~load in
+            let get key = Option.value ~default:0. (Run.info_value p key) in
+            [
+              label;
+              Output.f3 p.Run.goodput;
+              Output.f1 p.Run.p99;
+              string_of_int (int_of_float (get "rack_lost_requests"));
+              string_of_int (int_of_float (get "rack_failovers"));
+              string_of_int (int_of_float (get "health_detections"));
+              string_of_int (int_of_float (get "health_recoveries"));
+              string_of_int (int_of_float (get "rack_hedges"));
+            ]))
+      [
+        ("jsq-nodetect", Cluster.Policy.Jsq, None, None);
+        ("jsq-detect", Cluster.Policy.Jsq, Some detect, None);
+        ("jsq-detect-hedge", Cluster.Policy.Jsq, Some detect, Some 200.);
+        ("hash-detect", Cluster.Policy.Static_hash, Some detect, None);
+        ("jbsq32-detect", Cluster.Policy.Jbsq 32, Some detect, None);
+      ]
+  in
+  let rows = Sweep.run ~jobs ~seed:master_seed points_d in
+  Output.print_subheader
+    "server 0 crashes for 25% of the run (load 0.5, SLO 1000us, detect: 300us timeout x3)";
+  Output.print_table
+    ~columns:
+      [ "variant"; "goodput(MRPS)"; "p99(us)"; "lost"; "failovers"; "detect"; "recover"; "hedges" ]
+    ~rows
+
 type target = jobs:int -> scale:float -> unit
 
 let all_targets : (string * target) list =
@@ -941,4 +1111,5 @@ let all_targets : (string * target) list =
     ("ext-rebalance", ext_rebalance);
     ("ext-consolidate", ext_consolidate);
     ("chaos", chaos);
+    ("rack", rack);
   ]

@@ -82,5 +82,13 @@ val chaos : target
     saturation — goodput and p99 for Linux-floating, IX, and ZygOS, with
     and without server-side load shedding. *)
 
+val rack : target
+(** Rack tier: 4 ZygOS servers behind a ToR dispatcher. Inter-server
+    policy (hash / random / po2 / jsq / jbsq) x load against the
+    rack-wide M/G/64 centralized bound; estimate-staleness sweep; one
+    degraded server (queue-aware policies route around it, static
+    hashing collapses); and a crash window with timeout detection,
+    failover re-dispatch, and hedged requests. *)
+
 val all_targets : (string * target) list
 (** Name → generator, in run order (the bench executable's registry). *)

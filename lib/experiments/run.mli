@@ -86,6 +86,19 @@ type point = {
 val info_value : point -> string -> float option
 (** [info_value p key] looks up a counter in [p.info] by [String.equal]. *)
 
+val point_of_tally :
+  load:float ->
+  offered_rate:float ->
+  throughput:float ->
+  goodput:float ->
+  order_violations:int ->
+  info:(string * float) list ->
+  Stats.Tally.t ->
+  point
+(** Reduce a latency tally to a sweep point (percentiles zeroed when the
+    tally is empty). Exposed for runners outside this module —
+    {!Rackrun} reduces rack simulations with it. *)
+
 val run_point : config -> load:float -> point
 (** Run one simulation at the given offered load. Deterministic in
     [config.seed]. *)

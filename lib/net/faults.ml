@@ -8,10 +8,21 @@ type plan = {
   corrupt : float;
   reorder_delay : float;
   dup_delay : float;
+  blackhole_from : float;
+  blackhole_until : float;
 }
 
 let zero =
-  { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; reorder_delay = 5.; dup_delay = 1. }
+  {
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    corrupt = 0.;
+    reorder_delay = 5.;
+    dup_delay = 1.;
+    blackhole_from = 0.;
+    blackhole_until = 0.;
+  }
 
 let validate_plan p =
   let rate name x =
@@ -24,13 +35,24 @@ let validate_plan p =
   rate "corrupt" p.corrupt;
   if Float.is_nan p.reorder_delay || p.reorder_delay < 0. then
     invalid_arg "Faults: reorder_delay < 0";
-  if Float.is_nan p.dup_delay || p.dup_delay < 0. then invalid_arg "Faults: dup_delay < 0"
+  if Float.is_nan p.dup_delay || p.dup_delay < 0. then invalid_arg "Faults: dup_delay < 0";
+  if Float.is_nan p.blackhole_from || p.blackhole_from < 0. then
+    invalid_arg "Faults: blackhole_from < 0";
+  if Float.is_nan p.blackhole_until || p.blackhole_until < p.blackhole_from then
+    invalid_arg "Faults: blackhole_until < blackhole_from"
 
 let plan ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(corrupt = 0.)
-    ?(reorder_delay = zero.reorder_delay) ?(dup_delay = zero.dup_delay) () =
-  let p = { drop; duplicate; reorder; corrupt; reorder_delay; dup_delay } in
+    ?(reorder_delay = zero.reorder_delay) ?(dup_delay = zero.dup_delay)
+    ?(blackhole = (0., 0.)) () =
+  let blackhole_from, blackhole_until = blackhole in
+  let p =
+    { drop; duplicate; reorder; corrupt; reorder_delay; dup_delay; blackhole_from;
+      blackhole_until }
+  in
   validate_plan p;
   p
+
+let blackhole_active p ~now = now >= p.blackhole_from && now < p.blackhole_until
 
 type t = {
   sim : Sim.t;
@@ -41,6 +63,7 @@ type t = {
   mutable corruptions : int;
   mutable duplicates : int;
   mutable reorders : int;
+  mutable blackholes : int;
   mutable injected : int;
 }
 
@@ -55,6 +78,7 @@ let create sim ~rng ~plan () =
     corruptions = 0;
     duplicates = 0;
     reorders = 0;
+    blackholes = 0;
     injected = 0;
   }
 
@@ -62,12 +86,19 @@ let apply t pkt ~deliver =
   t.packets <- t.packets + 1;
   (* Fixed draw order keeps runs comparable across plans with the same
      seed: drop, corrupt, duplicate, reorder — every packet consumes
-     exactly four draws whichever faults fire. *)
+     exactly four draws whichever faults fire. The blackhole window is
+     checked after the draws for the same reason: a packet swallowed by a
+     partition still consumes its four draws, so runs with and without a
+     window stay comparable outside it. *)
   let dropped = Rng.bernoulli t.rng t.plan.drop in
   let corrupted = Rng.bernoulli t.rng t.plan.corrupt in
   let duplicated = Rng.bernoulli t.rng t.plan.duplicate in
   let reordered = Rng.bernoulli t.rng t.plan.reorder in
-  if dropped then begin
+  if blackhole_active t.plan ~now:(Sim.now t.sim) then begin
+    t.blackholes <- t.blackholes + 1;
+    t.injected <- t.injected + 1
+  end
+  else if dropped then begin
     t.drops <- t.drops + 1;
     t.injected <- t.injected + 1
   end
@@ -102,6 +133,7 @@ let info t =
     ("fault_corruptions", float_of_int t.corruptions);
     ("fault_duplicates", float_of_int t.duplicates);
     ("fault_reorders", float_of_int t.reorders);
+    ("fault_blackholes", float_of_int t.blackholes);
     ("fault_injected", float_of_int t.injected);
   ]
 

@@ -23,18 +23,28 @@ type plan = {
                         framing validation) *)
   reorder_delay : float;  (** extra latency of a reordered packet (µs) *)
   dup_delay : float;  (** lag of the duplicate copy behind the original (µs) *)
+  blackhole_from : float;
+      (** partition window start (sim µs): the target is unreachable —
+          every packet silently swallowed — during
+          [[blackhole_from, blackhole_until)] *)
+  blackhole_until : float;  (** partition window end (exclusive) *)
 }
 
 val zero : plan
-(** All rates 0; delays at harmless defaults. *)
+(** All rates 0; delays at harmless defaults; empty blackhole window. *)
 
 val plan : ?drop:float -> ?duplicate:float -> ?reorder:float -> ?corrupt:float ->
-  ?reorder_delay:float -> ?dup_delay:float -> unit -> plan
+  ?reorder_delay:float -> ?dup_delay:float -> ?blackhole:float * float -> unit -> plan
 (** [zero] overridden field-wise; validates (rates in [0,1], delays >= 0,
     rates summing <= 1 not required — drop/corrupt are exclusive, the rest
-    independent). Raises [Invalid_argument] on out-of-range values. *)
+    independent). [blackhole] is the [(from, until)] partition window,
+    default [(0., 0.)] — empty, since sim time is non-negative. Raises
+    [Invalid_argument] on out-of-range values. *)
 
 val validate_plan : plan -> unit
+
+val blackhole_active : plan -> now:float -> bool
+(** Is [now] inside the plan's partition window? *)
 
 type t
 
@@ -54,7 +64,8 @@ val injected : t -> int
 val info : t -> (string * float) list
 (** Per-kind counters for {!Systems.Iface.info}-style reporting:
     [fault_drops], [fault_corruptions], [fault_duplicates],
-    [fault_reorders], [fault_injected], [fault_packets]. *)
+    [fault_reorders], [fault_blackholes], [fault_injected],
+    [fault_packets]. *)
 
 val corrupt_frame : Engine.Rng.t -> string -> string
 (** Flip the top bit of one random byte of an encoded frame — the

@@ -19,7 +19,7 @@ let with_quiet_stdout f =
 
 let fast_targets =
   [ "fig2"; "fig8"; "fig9"; "fig10a"; "fig10b"; "table1"; "fig11"; "ablate-poll";
-    "ablate-batch"; "ext-preempt"; "ext-rebalance"; "ext-consolidate"; "chaos" ]
+    "ablate-batch"; "ext-preempt"; "ext-rebalance"; "ext-consolidate"; "chaos"; "rack" ]
 
 let slow_targets = [ "fig3"; "fig7"; "fig6" ]
 
@@ -39,12 +39,41 @@ let test_registry_complete () =
     (fun n -> if not (List.mem n names) then Alcotest.failf "missing: %s" n)
     (fast_targets @ slow_targets)
 
+(* The CLI must reject an unknown figure target with a non-zero exit and
+   name the valid ones (the dune deps make the binary available). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_unknown_target_cli () =
+  let err = Filename.temp_file "zygos_cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove err)
+    (fun () ->
+      let rc =
+        Sys.command
+          (Printf.sprintf "../bin/main.exe no-such-target >/dev/null 2>%s"
+             (Filename.quote err))
+      in
+      if rc = 0 then Alcotest.fail "unknown target must exit non-zero";
+      let ic = open_in_bin err in
+      let out = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.iter
+        (fun needle ->
+          if not (contains out needle) then
+            Alcotest.failf "stderr must mention %S, got:\n%s" needle out)
+        [ "unknown target"; "valid targets:"; "rack"; "fig2"; "chaos" ])
+
 let () =
   Alcotest.run "bench-targets"
     [
       ( "targets",
         [
           Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "unknown target exits non-zero" `Quick
+            test_unknown_target_cli;
           Alcotest.test_case "fast targets run" `Slow test_fast_targets;
           Alcotest.test_case "sweep targets run" `Slow test_slow_targets;
         ] );

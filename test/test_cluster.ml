@@ -1,0 +1,580 @@
+(* Rack tier tests (PR 7):
+
+   - Policy: selection semantics per policy, routable masking, and the
+     no-draw guarantee on a 1-server rack.
+   - Estimate: zero-delay exactness, staleness under a feedback delay,
+     forced resync, refresh horizon.
+   - Health: timeout thresholding, probe-slot gating, recovery counters.
+   - Failplan: validation, window queries, link/straggler lowering.
+   - Dispatch/Rack with scripted fake servers: the JBSQ bound invariant,
+     timeout detection + failover recovery, hedged requests with
+     first-response-wins dedupe.
+   - Degeneracy: a 1-server rack under every policy, zero failure plan,
+     zero feedback delay is bitwise identical (per-sample latencies) to
+     the bare single-server pipeline at the same seed.
+   - Determinism: rack points are byte-identical across heap/wheel event
+     queues and across Sweep jobs counts.
+   - Acceptance: queue-aware policies track the rack-wide centralized
+     bound where static hashing collapses, and bound the p99 damage of a
+     degraded server. *)
+
+module Sim = Engine.Sim
+module Rng = Engine.Rng
+module Dist = Engine.Dist
+module Policy = Cluster.Policy
+module Estimate = Cluster.Estimate
+module Health = Cluster.Health
+module Failplan = Cluster.Failplan
+module Dispatch = Cluster.Dispatch
+module Rack = Cluster.Rack
+module Request = Net.Request
+module Loadgen = Net.Loadgen
+module Run = Experiments.Run
+module Rackrun = Experiments.Rackrun
+
+let check_raises_any name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let all_policies = Policy.[ Static_hash; Random; Po2; Jsq; Jbsq 32 ]
+
+(* ---- Policy ---- *)
+
+let test_policy_basics () =
+  check_raises_any "jbsq bound 0" (fun () -> Policy.validate (Policy.Jbsq 0));
+  List.iter Policy.validate all_policies;
+  Alcotest.(check string) "jbsq name" "jbsq-32" (Policy.name (Policy.Jbsq 32));
+  Alcotest.(check int) "jbsq bound" 32 (Policy.bound (Policy.Jbsq 32));
+  Alcotest.(check int) "jsq bound" max_int (Policy.bound Policy.Jsq);
+  Alcotest.(check bool) "hash oblivious" false (Policy.queue_aware Policy.Static_hash);
+  Alcotest.(check bool) "jsq aware" true (Policy.queue_aware Policy.Jsq)
+
+let choose ?(n = 4) ?(estimates = [| 0.; 0.; 0.; 0. |]) ?(routable = fun _ -> true)
+    ?(seed = 1) ?(conn = 7) policy =
+  let rss = Net.Rss.create ~queues:n () in
+  let rng = Rng.create ~seed in
+  Policy.choose policy ~rss ~rng ~estimate:(fun i -> estimates.(i)) ~routable ~n ~conn
+
+let test_policy_jsq () =
+  Alcotest.(check int) "argmin" 2 (choose ~estimates:[| 3.; 2.; 1.; 2. |] Policy.Jsq);
+  Alcotest.(check int) "tie -> lowest index" 1
+    (choose ~estimates:[| 3.; 1.; 1.; 2. |] Policy.Jsq);
+  Alcotest.(check int) "mask wins over estimate" 3
+    (choose ~estimates:[| 0.; 0.; 0.; 9. |] ~routable:(fun i -> i = 3) Policy.Jsq);
+  Alcotest.(check int) "nothing routable" (-1) (choose ~routable:(fun _ -> false) Policy.Jsq)
+
+let test_policy_hash () =
+  let n = 4 in
+  let rss = Net.Rss.create ~queues:n () in
+  let home = Net.Rss.queue_of_conn rss 7 in
+  Alcotest.(check int) "home server" home (choose ~n Policy.Static_hash);
+  (* Masking the home server probes linearly to the next index. *)
+  Alcotest.(check int) "rehash past masked home"
+    ((home + 1) mod n)
+    (choose ~n ~routable:(fun i -> i <> home) Policy.Static_hash);
+  (* Flow consistency: same conn, same answer, rng untouched. *)
+  Alcotest.(check int) "stable" (choose ~n Policy.Static_hash) (choose ~n Policy.Static_hash)
+
+let test_policy_po2 () =
+  (* Both candidates exist (n = 2 means po2 samples both): the smaller
+     estimate must win regardless of draw order. *)
+  for seed = 1 to 20 do
+    Alcotest.(check int) "po2 picks the shorter queue" 1
+      (choose ~n:2 ~estimates:[| 5.; 0. |] ~seed Policy.Po2)
+  done;
+  let s = choose ~n:4 ~estimates:[| 1.; 1.; 1.; 1. |] Policy.Po2 in
+  Alcotest.(check bool) "in range" true (s >= 0 && s < 4)
+
+let test_policy_single_server_no_draws () =
+  (* A 1-server rack must consume no randomness whatever the policy: this
+     is what keeps the degenerate rack bit-identical to the bare system. *)
+  List.iter
+    (fun policy ->
+      let rng = Rng.create ~seed:9 in
+      let witness = Rng.copy rng in
+      let s =
+        Policy.choose policy ~rss:(Net.Rss.create ~queues:1 ()) ~rng
+          ~estimate:(fun _ -> 0.)
+          ~routable:(fun _ -> true)
+          ~n:1 ~conn:3
+      in
+      Alcotest.(check int) (Policy.name policy ^ " picks 0") 0 s;
+      Alcotest.(check int64)
+        (Policy.name policy ^ " drew nothing")
+        (Rng.next_int64 witness) (Rng.next_int64 rng))
+    all_policies
+
+(* ---- Estimate ---- *)
+
+let test_estimate_zero_delay_exact () =
+  let sim = Sim.create () in
+  let live = [| 1.; 2. |] in
+  let e = Estimate.create sim ~live ~delay:0. ~until:1000. () in
+  live.(0) <- 7.;
+  Alcotest.(check (float 0.)) "read is live" 7. (Estimate.read e 0);
+  Sim.run sim;
+  Alcotest.(check int) "no refresh events" 0 (Estimate.refreshes e)
+
+let test_estimate_staleness () =
+  let sim = Sim.create () in
+  let live = [| 0. |] in
+  let e = Estimate.create sim ~live ~delay:10. ~until:100. () in
+  live.(0) <- 4.;
+  Alcotest.(check (float 0.)) "stale before refresh" 0. (Estimate.read e 0);
+  Alcotest.(check (float 0.)) "exact sees it" 4. (Estimate.exact e 0);
+  Sim.run_until sim 10.5;
+  Alcotest.(check (float 0.)) "refreshed" 4. (Estimate.read e 0);
+  live.(0) <- 9.;
+  Estimate.force e 0;
+  Alcotest.(check (float 0.)) "forced resync" 9. (Estimate.read e 0);
+  (* The refresh loop stops at [until] so the simulation can drain. *)
+  Sim.run sim;
+  live.(0) <- 13.;
+  Alcotest.(check (float 0.)) "frozen after horizon" 9. (Estimate.read e 0);
+  Alcotest.(check bool) "bounded refreshes" true (Estimate.refreshes e <= 11)
+
+(* ---- Health ---- *)
+
+let test_health_detection_cycle () =
+  let cfg = Health.config ~suspect_after:3 ~probe_interval:100. () in
+  let h = Health.create ~n:2 cfg in
+  Alcotest.(check bool) "up routable" true (Health.routable h 0 ~now:0.);
+  Health.note_timeout h 0 ~now:10.;
+  Alcotest.(check bool) "suspect still routable" true (Health.routable h 0 ~now:10.);
+  Health.note_timeout h 0 ~now:20.;
+  Health.note_timeout h 0 ~now:30.;
+  (match Health.state h 0 with
+  | Health.Down -> ()
+  | Health.Up | Health.Suspect -> Alcotest.fail "expected Down after 3 timeouts");
+  Alcotest.(check int) "one detection" 1 (Health.down_count h);
+  (* Down: no probe slot until a full interval after detection. *)
+  Alcotest.(check bool) "no probe yet" false (Health.routable h 0 ~now:50.);
+  Alcotest.(check bool) "probe slot opens" true (Health.routable h 0 ~now:130.);
+  (* routable is pure: asking twice must not consume the slot. *)
+  Alcotest.(check bool) "still open" true (Health.routable h 0 ~now:130.);
+  Health.note_probe h 0 ~now:130.;
+  Alcotest.(check bool) "slot consumed" false (Health.routable h 0 ~now:150.);
+  Health.note_response h 0 ~now:160.;
+  (match Health.state h 0 with
+  | Health.Up -> ()
+  | Health.Suspect | Health.Down -> Alcotest.fail "expected recovery");
+  let get k = List.assoc k (Health.info h) in
+  Alcotest.(check (float 0.)) "recoveries" 1. (get "health_recoveries");
+  Alcotest.(check (float 0.)) "probes" 1. (get "health_probes");
+  Alcotest.(check (float 0.)) "down time" 130. (get "health_down_time");
+  (* An intervening response resets the consecutive count. *)
+  Health.note_timeout h 1 ~now:0.;
+  Health.note_timeout h 1 ~now:1.;
+  Health.note_response h 1 ~now:2.;
+  Health.note_timeout h 1 ~now:3.;
+  Health.note_timeout h 1 ~now:4.;
+  (match Health.state h 1 with
+  | Health.Suspect -> ()
+  | Health.Up | Health.Down -> Alcotest.fail "reset count must keep server 1 out of Down")
+
+(* ---- Failplan ---- *)
+
+let test_failplan_validation () =
+  check_raises_any "server out of range" (fun () ->
+      Failplan.validate ~servers:2
+        [ Failplan.Crash { server = 2; start = 0.; duration = 1. } ]);
+  check_raises_any "empty window" (fun () ->
+      Failplan.validate ~servers:2
+        [ Failplan.Blackhole { server = 0; start = 5.; duration = 0. } ]);
+  check_raises_any "slowdown < 1" (fun () ->
+      Failplan.validate ~servers:2
+        [ Failplan.Degraded { server = 0; slowdown = 0.5; start = 0.; duration = 1. } ]);
+  check_raises_any "two blackholes on one server" (fun () ->
+      Failplan.validate ~servers:2
+        [
+          Failplan.Blackhole { server = 1; start = 0.; duration = 1. };
+          Failplan.Blackhole { server = 1; start = 5.; duration = 1. };
+        ]);
+  Failplan.validate ~servers:1 Failplan.none
+
+let test_failplan_lowering () =
+  let plan =
+    [
+      Failplan.Crash { server = 0; start = 10.; duration = 5. };
+      Failplan.Blackhole { server = 1; start = 20.; duration = 10. };
+      Failplan.Degraded { server = 2; slowdown = 4.; start = 0.; duration = 50. };
+    ]
+  in
+  Failplan.validate ~servers:3 plan;
+  Alcotest.(check bool) "crashed inside" true (Failplan.crashed plan ~server:0 ~now:12.);
+  Alcotest.(check bool) "window end exclusive" false
+    (Failplan.crashed plan ~server:0 ~now:15.);
+  Alcotest.(check bool) "other server clean" false (Failplan.crashed plan ~server:1 ~now:12.);
+  Alcotest.(check bool) "has_crash" true (Failplan.has_crash plan ~server:0);
+  (match Failplan.link_plan plan ~server:1 with
+  | Some p ->
+      Alcotest.(check bool) "blackhole active at 25" true
+        (Net.Faults.blackhole_active p ~now:25.);
+      Alcotest.(check bool) "inactive at 30" false (Net.Faults.blackhole_active p ~now:30.)
+  | None -> Alcotest.fail "server 1 must have a link plan");
+  (match Failplan.link_plan plan ~server:0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "server 0 has no blackhole: no link layer");
+  let specs = Failplan.stragglers plan ~server:2 ~cores:4 in
+  Alcotest.(check int) "one spec per core" 4 (List.length specs);
+  Alcotest.(check int) "no stragglers elsewhere" 0
+    (List.length (Failplan.stragglers plan ~server:0 ~cores:4))
+
+(* ---- Dispatch/Rack with scripted fake servers ---- *)
+
+(* A server that completes each request [delay] µs after submission (or
+   never, when [delay] is infinite) and records its peak in-flight count. *)
+let fake_server sim ~delay ~respond =
+  let inflight = ref 0 in
+  let peak = ref 0 in
+  let submit req =
+    incr inflight;
+    if !inflight > !peak then peak := !inflight;
+    if delay < infinity then
+      let _ : Sim.handle =
+        Sim.schedule_after sim ~delay (fun () ->
+            decr inflight;
+            req.Request.completion <- Sim.now sim;
+            respond req)
+      in
+      ()
+  in
+  let info () = [ ("fake_peak", float_of_int !peak) ] in
+  (Systems.Iface.{ name = "fake"; submit; info }, peak)
+
+let mk_req id = Request.make ~id ~conn:id ~arrival:0. ~service:1. ~measured:true
+
+let test_jbsq_bound_invariant () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:3 in
+  let completed = ref 0 in
+  let bound = 2 in
+  let peaks = Array.make 3 (ref 0) in
+  let cfg = Rack.config ~servers:3 ~policy:(Policy.Jbsq bound) () in
+  let rack =
+    Rack.create sim cfg ~rng
+      ~make_server:(fun ~i ~rng:_ ~respond ->
+        let iface, peak = fake_server sim ~delay:10. ~respond in
+        peaks.(i) <- peak;
+        iface)
+      ~respond:(fun _ -> incr completed)
+  in
+  let iface = Rack.iface rack in
+  for id = 1 to 50 do
+    iface.Systems.Iface.submit (mk_req id)
+  done;
+  Alcotest.(check bool) "central FIFO holds the overflow" true (Rack.dispatch rack |> Dispatch.tor_depth > 0);
+  Sim.run sim;
+  Alcotest.(check int) "all complete" 50 !completed;
+  Array.iteri
+    (fun i peak ->
+      if !peak > bound then
+        Alcotest.failf "server %d exceeded JBSQ bound: %d > %d" i !peak bound)
+    peaks;
+  let get k = List.assoc k ((Rack.iface rack).Systems.Iface.info ()) in
+  Alcotest.(check bool) "queued at ToR" true (get "rack_tor_queued" > 0.);
+  Alcotest.(check (float 0.)) "nothing dropped" 0. (get "rack_no_route_drops")
+
+let test_failover_recovers_dead_server () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:5 in
+  let completed = ref 0 in
+  let detect =
+    Dispatch.
+      {
+        retry = Loadgen.retry ~timeout:50. ~max_retries:2 ~backoff_base:10. ~backoff_max:20. ();
+        health = Health.config ~suspect_after:3 ~probe_interval:200. ();
+      }
+  in
+  let cfg = Rack.config ~servers:2 ~policy:Policy.Static_hash ~detect () in
+  let rack =
+    Rack.create sim cfg ~rng
+      ~make_server:(fun ~i ~rng:_ ~respond ->
+        (* Server 0 is dead from the start; server 1 answers in 5µs. *)
+        fst (fake_server sim ~delay:(if i = 0 then infinity else 5.) ~respond))
+      ~respond:(fun _ -> incr completed)
+  in
+  let iface = Rack.iface rack in
+  let n = 40 in
+  for id = 1 to n do
+    let _ : Sim.handle =
+      Sim.schedule sim
+        ~at:(float_of_int id *. 10.)
+        (fun () -> iface.Systems.Iface.submit (mk_req id))
+    in
+    ()
+  done;
+  Sim.run sim;
+  (* Hashing sends a share of the flows to the dead server; every one of
+     those must be recovered by timeout detection + failover. *)
+  let get k = List.assoc k (iface.Systems.Iface.info ()) in
+  Alcotest.(check int) "every request completes exactly once" n !completed;
+  Alcotest.(check bool) "some failovers happened" true (get "rack_failovers" > 0.);
+  Alcotest.(check bool) "dead server detected" true (get "health_detections" >= 1.);
+  Alcotest.(check bool) "probes keep checking it" true (get "health_probes" >= 1.);
+  Alcotest.(check (float 0.)) "no duplicates (it never answers)" 0.
+    (get "rack_duplicates_dropped");
+  match Dispatch.health (Rack.dispatch rack) with
+  | None -> Alcotest.fail "detect configured: health must exist"
+  | Some h -> (
+      match Health.state h 0 with
+      | Health.Down -> ()
+      | Health.Up | Health.Suspect -> Alcotest.fail "server 0 must end Down")
+
+let test_hedge_first_response_wins () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:6 in
+  let latencies = ref [] in
+  let cfg = Rack.config ~servers:2 ~policy:Policy.Jsq ~hedge:50. () in
+  let rack =
+    Rack.create sim cfg ~rng
+      ~make_server:(fun ~i ~rng:_ ~respond ->
+        (* Server 0 is a straggler (500µs); server 1 answers in 5µs. JSQ
+           ties break to index 0, so the primary goes to the straggler
+           and the hedge must win. *)
+        fst (fake_server sim ~delay:(if i = 0 then 500. else 5.) ~respond))
+      ~respond:(fun req -> latencies := Request.latency req :: !latencies)
+  in
+  (Rack.iface rack).Systems.Iface.submit (mk_req 1);
+  Sim.run sim;
+  (match !latencies with
+  | [ l ] ->
+      if not (l < 100.) then Alcotest.failf "hedge should cut latency to ~55µs, got %g" l
+  | ls -> Alcotest.failf "exactly one response expected, got %d" (List.length ls));
+  let get k = List.assoc k ((Rack.iface rack).Systems.Iface.info ()) in
+  Alcotest.(check (float 0.)) "one hedge" 1. (get "rack_hedges");
+  Alcotest.(check (float 0.)) "hedge won" 1. (get "rack_hedge_wins");
+  Alcotest.(check (float 0.)) "straggler's late response deduped" 1.
+    (get "rack_duplicates_dropped")
+
+(* ---- Degeneracy: 1-server rack == bare system, bitwise ---- *)
+
+let bare_samples () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:4242 in
+  let loadgen_rng = Rng.split rng in
+  let system_rng = Rng.split rng in
+  let gen =
+    Loadgen.create sim ~rng:loadgen_rng ~conns:64 ~rate:0.3 ~service:(Dist.exponential 10.)
+      ()
+  in
+  let system =
+    Systems.Zygos.create sim
+      (Systems.Params.default ~cores:4 ())
+      ~rng:system_rng ~conns:64
+      ~respond:(fun req -> Loadgen.complete gen req)
+      ()
+  in
+  Loadgen.set_target gen system.Systems.Iface.submit;
+  Loadgen.start gen ~warmup:200. ~measure:2000.;
+  Sim.run sim;
+  Stats.Tally.samples (Loadgen.tally gen)
+
+let rack_samples ~policy =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:4242 in
+  let loadgen_rng = Rng.split rng in
+  let gen =
+    Loadgen.create sim ~rng:loadgen_rng ~conns:64 ~rate:0.3 ~service:(Dist.exponential 10.)
+      ()
+  in
+  let cfg = Rack.config ~servers:1 ~policy () in
+  let rack =
+    Rack.create sim cfg ~rng
+      ~make_server:(fun ~i:_ ~rng ~respond ->
+        Systems.Zygos.create sim
+          (Systems.Params.default ~cores:4 ())
+          ~rng ~conns:64 ~respond ())
+      ~respond:(fun req -> Loadgen.complete gen req)
+  in
+  Loadgen.set_target gen (Rack.iface rack).Systems.Iface.submit;
+  Loadgen.start gen ~warmup:200. ~measure:2000.;
+  Sim.run sim;
+  Stats.Tally.samples (Loadgen.tally gen)
+
+let test_one_server_rack_bitwise () =
+  let base = bare_samples () in
+  Alcotest.(check bool) "bare run produced samples" true (Array.length base > 100);
+  List.iter
+    (fun policy ->
+      let got = rack_samples ~policy in
+      Alcotest.(check int)
+        (Policy.name policy ^ ": sample count")
+        (Array.length base) (Array.length got);
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float got.(i) then
+            Alcotest.failf "%s: sample %d differs: %h vs %h" (Policy.name policy) i x
+              got.(i))
+        base)
+    (* Jbsq with a bound the run never reaches: the credit gate must not
+       perturb the degenerate rack either. *)
+    Policy.[ Static_hash; Random; Po2; Jsq; Jbsq 1_000_000 ]
+
+(* The full Rackrun pipeline degenerates too (rate scaling, warmup,
+   estimator horizon included). *)
+let point_fingerprint (p : Run.point) =
+  ( Int64.bits_of_float p.Run.throughput,
+    Int64.bits_of_float p.Run.goodput,
+    Int64.bits_of_float p.Run.mean,
+    Int64.bits_of_float p.Run.p50,
+    Int64.bits_of_float p.Run.p99,
+    Int64.bits_of_float p.Run.p999,
+    p.Run.completed,
+    p.Run.order_violations )
+
+let test_rackrun_degenerates () =
+  let service = Dist.exponential 10. in
+  let bare =
+    Run.run_point
+      (Run.config ~system:Run.Zygos ~service ~cores:8 ~conns:128 ~requests:4_000 ~seed:17 ())
+      ~load:0.7
+  in
+  List.iter
+    (fun policy ->
+      let cfg =
+        Rackrun.config ~servers:1 ~system:Run.Zygos ~cores:8 ~conns:128 ~requests:4_000
+          ~seed:17 ~policy ~service ()
+      in
+      let p = Rackrun.run cfg ~load:0.7 in
+      if point_fingerprint p <> point_fingerprint bare then
+        Alcotest.failf "rackrun(%s) diverges from bare run" (Policy.name policy))
+    Policy.[ Static_hash; Random; Po2; Jsq; Jbsq 1_000_000 ]
+
+(* ---- Determinism: equeue back ends and Sweep jobs ---- *)
+
+let rack_point ~policy ~seed =
+  let cfg =
+    Rackrun.config ~servers:2 ~system:Run.Zygos ~cores:4 ~conns:64 ~requests:2_000 ~seed
+      ~feedback_delay:5. ~policy ~service:(Dist.exponential 10.) ()
+  in
+  Rackrun.run cfg ~load:0.8
+
+let test_rack_equeue_parity () =
+  let with_queue kind f =
+    Sim.set_default_queue kind;
+    Fun.protect ~finally:(fun () -> Sim.set_default_queue Engine.Equeue.Wheel) f
+  in
+  List.iter
+    (fun policy ->
+      let heap = with_queue Engine.Equeue.Heap (fun () -> rack_point ~policy ~seed:23) in
+      let wheel = with_queue Engine.Equeue.Wheel (fun () -> rack_point ~policy ~seed:23) in
+      if point_fingerprint heap <> point_fingerprint wheel then
+        Alcotest.failf "%s: heap and wheel runs differ" (Policy.name policy))
+    all_policies
+
+let test_rack_sweep_jobs_parity () =
+  let points =
+    List.map
+      (fun policy ->
+        Experiments.Sweep.point
+          ~key:("test-rack/" ^ Policy.name policy)
+          (fun ~seed -> point_fingerprint (rack_point ~policy ~seed)))
+      all_policies
+  in
+  let seq = Experiments.Sweep.run ~jobs:1 ~seed:42 points in
+  let par = Experiments.Sweep.run ~jobs:4 ~seed:42 points in
+  if seq <> par then Alcotest.fail "rack sweep points differ between -j1 and -j4"
+
+(* ---- Acceptance: two-level scheduling & robustness ---- *)
+
+let acceptance_cfg ?feedback_delay ?failplan ~policy () =
+  Rackrun.config ~servers:4 ~system:Run.Zygos ~cores:16 ~requests:5_000 ~seed:29
+    ?feedback_delay ?failplan ~policy ~service:(Dist.exponential 10.) ()
+
+let test_policy_vs_bound () =
+  let load = 0.85 in
+  let p99 policy =
+    (Rackrun.run (acceptance_cfg ~feedback_delay:5. ~policy ()) ~load).Run.p99
+  in
+  let bound =
+    (Rackrun.central_bound (acceptance_cfg ~policy:Policy.Jsq ()) ~load).Run.p99
+  in
+  let hash = p99 Policy.Static_hash in
+  let po2 = p99 Policy.Po2 in
+  let jbsq = p99 (Policy.Jbsq 32) in
+  (* Queue-aware policies approximate the rack-wide centralized bound;
+     static hashing is far from it. *)
+  if not (po2 < 3. *. bound) then
+    Alcotest.failf "po2 should track the bound: %.1f vs %.1f" po2 bound;
+  if not (jbsq < 3. *. bound) then
+    Alcotest.failf "jbsq should track the bound: %.1f vs %.1f" jbsq bound;
+  if not (hash > 1.8 *. jbsq) then
+    Alcotest.failf "hashing should be clearly worse: %.1f vs jbsq %.1f" hash jbsq
+
+let test_degraded_server_bounded () =
+  let load = 0.6 in
+  let service_mean = 10. in
+  let rate = load *. 64. /. service_mean in
+  let measure = 5_000. /. rate in
+  let failplan =
+    [
+      Cluster.Failplan.Degraded
+        { server = 0; slowdown = 10.; start = 0.2 *. measure; duration = 0.25 *. measure };
+    ]
+  in
+  let ratio policy =
+    let clean = Rackrun.run (acceptance_cfg ~feedback_delay:5. ~policy ()) ~load in
+    let deg = Rackrun.run (acceptance_cfg ~feedback_delay:5. ~failplan ~policy ()) ~load in
+    deg.Run.p99 /. Float.max 1e-9 clean.Run.p99
+  in
+  let hash = ratio Policy.Static_hash in
+  let po2 = ratio Policy.Po2 in
+  let jbsq = ratio (Policy.Jbsq 32) in
+  (* One 10x-degraded server: hashing keeps feeding it and collapses;
+     queue-aware policies route around it and bound the damage. *)
+  if not (hash > 2.5) then Alcotest.failf "hash should collapse: %.2fx" hash;
+  if not (po2 < 1.8) then Alcotest.failf "po2 degradation unbounded: %.2fx" po2;
+  if not (jbsq < 1.8) then Alcotest.failf "jbsq degradation unbounded: %.2fx" jbsq;
+  if not (po2 < hash /. 1.5 && jbsq < hash /. 1.5) then
+    Alcotest.failf "queue-aware not clearly better: po2 %.2fx jbsq %.2fx hash %.2fx" po2
+      jbsq hash
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "basics" `Quick test_policy_basics;
+          Alcotest.test_case "jsq argmin" `Quick test_policy_jsq;
+          Alcotest.test_case "hash + rehash" `Quick test_policy_hash;
+          Alcotest.test_case "po2" `Quick test_policy_po2;
+          Alcotest.test_case "1-server: no draws" `Quick test_policy_single_server_no_draws;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "zero delay is exact" `Quick test_estimate_zero_delay_exact;
+          Alcotest.test_case "staleness + force" `Quick test_estimate_staleness;
+        ] );
+      ( "health",
+        [ Alcotest.test_case "detect/probe/recover" `Quick test_health_detection_cycle ] );
+      ( "failplan",
+        [
+          Alcotest.test_case "validation" `Quick test_failplan_validation;
+          Alcotest.test_case "lowering" `Quick test_failplan_lowering;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "jbsq bound invariant" `Quick test_jbsq_bound_invariant;
+          Alcotest.test_case "failover recovers dead server" `Quick
+            test_failover_recovers_dead_server;
+          Alcotest.test_case "hedge: first response wins" `Quick
+            test_hedge_first_response_wins;
+        ] );
+      ( "degeneracy",
+        [
+          Alcotest.test_case "1-server rack bitwise" `Slow test_one_server_rack_bitwise;
+          Alcotest.test_case "rackrun degenerates" `Slow test_rackrun_degenerates;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "heap == wheel" `Slow test_rack_equeue_parity;
+          Alcotest.test_case "-j1 == -j4 sweep" `Slow test_rack_sweep_jobs_parity;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "policies vs centralized bound" `Slow test_policy_vs_bound;
+          Alcotest.test_case "degraded server bounded" `Slow test_degraded_server_bounded;
+        ] );
+    ]

@@ -97,7 +97,41 @@ let test_plan_validation () =
   check_raises_any "rate > 1" (fun () -> Faults.plan ~drop:1.5 ());
   check_raises_any "negative rate" (fun () -> Faults.plan ~reorder:(-0.1) ());
   check_raises_any "negative delay" (fun () -> Faults.plan ~reorder_delay:(-1.) ());
-  Faults.validate_plan Faults.zero
+  check_raises_any "blackhole from < 0" (fun () -> Faults.plan ~blackhole:(-1., 5.) ());
+  check_raises_any "blackhole until < from" (fun () -> Faults.plan ~blackhole:(10., 5.) ());
+  check_raises_any "blackhole NaN" (fun () -> Faults.plan ~blackhole:(Float.nan, 5.) ());
+  Faults.validate_plan Faults.zero;
+  (* An explicit empty window is the zero plan. *)
+  Alcotest.(check bool) "empty window = zero" true
+    (Faults.plan ~blackhole:(0., 0.) () = Faults.zero)
+
+let test_blackhole_window () =
+  (* Packets inside the partition window are swallowed (with their own
+     counter); before and after, delivery is untouched. *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:21 in
+  let f = Faults.create sim ~rng ~plan:(Faults.plan ~blackhole:(10., 20.) ()) () in
+  let delivered = ref [] in
+  let send_at at =
+    let _ : Sim.handle =
+      Sim.schedule sim ~at (fun () ->
+          Faults.apply f at ~deliver:(fun t -> delivered := t :: !delivered))
+    in
+    ()
+  in
+  List.iter send_at [ 5.; 10.; 15.; 19.9; 20.; 25. ];
+  Sim.run sim;
+  Alcotest.(check (list (float 0.)))
+    "window [10,20) swallowed, end exclusive" [ 5.; 20.; 25. ]
+    (List.rev !delivered);
+  let get k = int_of_float (List.assoc k (Faults.info f)) in
+  Alcotest.(check int) "blackhole counter" 3 (get "fault_blackholes");
+  Alcotest.(check int) "counted as injected" 3 (get "fault_injected");
+  Alcotest.(check int) "not counted as drops" 0 (get "fault_drops");
+  Alcotest.(check bool) "active inside" true
+    (Faults.blackhole_active (Faults.plan ~blackhole:(10., 20.) ()) ~now:15.);
+  Alcotest.(check bool) "inactive at end" false
+    (Faults.blackhole_active (Faults.plan ~blackhole:(10., 20.) ()) ~now:20.)
 
 let test_fault_counters () =
   let sim = Sim.create () in
@@ -179,6 +213,25 @@ let test_zero_plan_identical () =
       let zeroed = Run.run_point (cfg ~faults:Faults.zero ()) ~load in
       if point_fingerprint base <> point_fingerprint zeroed then
         QCheck.Test.fail_report "summary stats differ under zero-rate plan";
+      true)
+
+(* The blackhole draws nothing from the rng: a run whose window never
+   opens (entirely after the horizon) is bitwise-identical to no plan. *)
+let test_future_blackhole_bitwise () =
+  QCheck.Test.make ~name:"unreached blackhole window is byte-identical to no plan"
+    ~count:6
+    QCheck.(pair (int_range 1 1000) (int_range 3 9))
+    (fun (seed, load10) ->
+      let load = float_of_int load10 /. 10. in
+      let cfg ?faults () =
+        Run.config ~system:Run.Zygos ~service:(Dist.exponential 10.) ~cores:4 ~conns:64
+          ~requests:800 ~seed ?faults ()
+      in
+      let base = Run.run_point (cfg ()) ~load in
+      let far = Faults.plan ~blackhole:(1e15, 2e15) () in
+      let holed = Run.run_point (cfg ~faults:far ()) ~load in
+      if point_fingerprint base <> point_fingerprint holed then
+        QCheck.Test.fail_report "summary stats differ under unreached blackhole";
       true)
 
 (* Bitwise histogram comparison needs the tallies themselves; run the
@@ -476,11 +529,13 @@ let () =
         [
           Alcotest.test_case "plan validation" `Quick test_plan_validation;
           Alcotest.test_case "counters" `Quick test_fault_counters;
+          Alcotest.test_case "blackhole window" `Quick test_blackhole_window;
           QCheck_alcotest.to_alcotest (test_corrupt_frame_detected ());
         ] );
       ( "determinism",
         [
           QCheck_alcotest.to_alcotest (test_zero_plan_identical ());
+          QCheck_alcotest.to_alcotest (test_future_blackhole_bitwise ());
           Alcotest.test_case "zero plan, bitwise samples" `Quick
             test_zero_plan_samples_bitwise;
         ] );

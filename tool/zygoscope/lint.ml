@@ -661,7 +661,8 @@ let make_iterator ctx =
 (* ---- entry points ---- *)
 
 let deterministic_dirs =
-  [ "lib/engine"; "lib/systems"; "lib/models"; "lib/net"; "lib/stats"; "lib/experiments" ]
+  [ "lib/engine"; "lib/systems"; "lib/models"; "lib/net"; "lib/stats"; "lib/experiments";
+    "lib/cluster" ]
 
 let norm_file f =
   String.map (fun c -> if c = '\\' then '/' else c) f
