@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig7 table1  -- selected targets
      dune exec bench/main.exe -- -j 4 fig6    -- sweep points on 4 domains
-     dune exec bench/main.exe -- --json       -- also write BENCH_PR7.json
+     dune exec bench/main.exe -- --json       -- also write BENCH_PR8.json
      ZYGOS_BENCH_SCALE=0.2 dune exec bench/main.exe   -- quicker pass *)
 
 let scale =
@@ -25,23 +25,34 @@ let default_jobs =
       | _ -> invalid_arg "ZYGOS_JOBS must be a positive integer")
   | None -> 1
 
-(* Seed-commit ns/op for the two hot-path structures this PR rewrote
+(* Every stored baseline is stamped with the ZYGOS_BENCH_SCALE it was
+   recorded at. BENCH_PR7.json compared a scale-0.05 run against PR 4's
+   scale-0.2 rows and recorded uniformly negative "improvements" that
+   were really a different machine phase under a different run length —
+   so [write_trajectory] now refuses to emit [improvement_vs_*] against
+   a baseline whose scale differs from the current run's, and records
+   why instead. Comparing against a stored baseline therefore requires
+   re-running at its scale (e.g. ZYGOS_BENCH_SCALE=0.2 for PR 4). *)
+
+(* Seed-commit ns/op for the two hot-path structures PR 1 rewrote
    (boxed heap entries, per-record [log]): median of three Bechamel runs
    of the seed implementation under the exact bench bodies below (depth-512
    heap, varying-magnitude histogram samples), 1s quota, same machine.
-   BENCH_PR7.json reports current numbers next to these so the trajectory
+   BENCH_PR8.json reports current numbers next to these so the trajectory
    is visible without checking out the old commit. *)
+let seed_baseline_scale = 0.1
 let seed_baseline_ns = [ ("engine: heap push+pop", 221.0); ("stats: histogram record", 14.4) ]
 
 (* PR 3's BENCH_PR3.json numbers for the engine hot-path benches this PR
    (closure-free dispatch + timing wheel) targets, same machine and
    quota (re-verified against a PR-3 checkout on the current machine:
-   87.5 / 105.0); BENCH_PR7.json reports the improvement against these.
+   87.5 / 105.0); BENCH_PR8.json reports the improvement against these.
    The wheel and schedule_fn rows are keyed to the PR-3 numbers of what
    they replace on the hot path: the wheel supersedes the heap as the
    default queue, and the closure-free cycle supersedes the closure
    cycle at every converted call site, so those pairs are the
    before/after of the same simulator operation. *)
+let pr3_baseline_scale = 0.2
 let pr3_baseline_ns =
   [
     ("engine: heap push+pop", 105.187);
@@ -55,6 +66,7 @@ let pr3_baseline_ns =
    (dispatch timers, estimate refreshes, per-server event streams), so
    these rows guard against the cluster layer taxing the single-server
    fast path it composes over. *)
+let pr4_baseline_scale = 0.2
 let pr4_baseline_ns =
   [
     ("engine: heap push+pop", 104.287);
@@ -62,6 +74,22 @@ let pr4_baseline_ns =
     ("sim: schedule+cancel+fire cycle", 75.4381);
     ("sim: schedule_fn+cancel+fire cycle", 60.7865);
     ("experiments: ns per simulated request", 2647.66);
+  ]
+
+(* PR 7's BENCH_PR7.json rows for the request path this PR attacks
+   (Toeplitz LUT, zero-alloc kvstore parsing, pooled request state,
+   keyed schedules). Recorded at scale 0.05: [write_trajectory] will
+   only emit [improvement_vs_pr7] from a scale-0.05 run. *)
+let pr7_baseline_scale = 0.05
+let pr7_baseline_ns =
+  [
+    ("engine: heap push+pop", 124.693);
+    ("engine: wheel push+pop", 39.0151);
+    ("sim: schedule+cancel+fire cycle", 87.0269);
+    ("sim: schedule_fn+cancel+fire cycle", 74.2401);
+    ("experiments: ns per simulated request", 2959.05);
+    ("net: toeplitz RSS dispatch", 2153.84);
+    ("kvstore: parse+execute GET", 170.174);
   ]
 
 (* ---- Bechamel microbenchmarks ---- *)
@@ -263,6 +291,28 @@ let micro_tests () =
     kv_bench;
   ]
 
+(* Minor-heap allocation of the end-to-end request path, amortized per
+   simulated request (point setup and tally collection included). Not a
+   Bechamel test — [Gc.minor_words] deltas around whole [run_point]
+   calls; the unit is words, not ns, and the row is reported alongside
+   the timing rows so the trajectory tracks allocation regressions the
+   same way it tracks time regressions. *)
+let words_per_request_row () =
+  let requests = 1_500 in
+  let cfg =
+    Experiments.Run.config ~cores:4 ~conns:128 ~requests ~seed:1
+      ~system:Experiments.Run.Zygos ~service:(Engine.Dist.exponential 10.) ()
+  in
+  let point () = ignore (Experiments.Run.run_point cfg ~load:0.5 : Experiments.Run.point) in
+  point ();
+  let iters = 3 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    point ()
+  done;
+  let per_req = (Gc.minor_words () -. w0) /. float_of_int (iters * requests) in
+  ("experiments: minor words per simulated request", per_req)
+
 (* ns/op per microbenchmark, one Bechamel run each. *)
 let micro_rows ~scale : (string * float) list =
   let open Bechamel in
@@ -286,6 +336,7 @@ let micro_rows ~scale : (string * float) list =
           (name, ns /. per_run) :: acc)
         results [])
     (micro_tests ())
+  @ [ words_per_request_row () ]
 
 let last_micro_rows : (string * float) list ref = ref []
 
@@ -293,7 +344,7 @@ let micro ~scale =
   Experiments.Output.print_header "Microbenchmarks (Bechamel, ns per operation)";
   let rows = micro_rows ~scale in
   last_micro_rows := rows;
-  Experiments.Output.print_table ~columns:[ "operation"; "ns/op" ]
+  Experiments.Output.print_table ~columns:[ "operation"; "ns/op (words/req where noted)" ]
     ~rows:
       (List.sort compare
          (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) rows))
@@ -482,7 +533,7 @@ let sweep_bench ~jobs ~scale =
       ("steals", float_of_int par_stats.Runtime.Pool.steals);
     ]
 
-(* ---- BENCH_PR7.json: the perf trajectory future PRs regress against ---- *)
+(* ---- BENCH_PR8.json: the perf trajectory future PRs regress against ---- *)
 
 let write_trajectory ~path ~scale ~micro ~wall_clock =
   let open Experiments.Output.Json in
@@ -496,9 +547,19 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
         | _ -> None)
       baseline
   in
-  let improvements = improve_against seed_baseline_ns in
-  let improvements_pr3 = improve_against pr3_baseline_ns in
-  let improvements_pr4 = improve_against pr4_baseline_ns in
+  (* Ratios against a baseline recorded at a different ZYGOS_BENCH_SCALE
+     are not comparisons of the same measurement (see the note above the
+     baseline tables): emit the skip reason instead of the numbers. *)
+  let gated key ~baseline_scale baseline =
+    if scale = baseline_scale then [ (key, number_map (improve_against baseline)) ]
+    else
+      [
+        ( key ^ "_skipped",
+          str
+            (Printf.sprintf "run at scale %g, baseline recorded at scale %g; rerun with ZYGOS_BENCH_SCALE=%g to compare"
+               scale baseline_scale baseline_scale) );
+      ]
+  in
   let totals = Experiments.Sweep.read_totals () in
   let pool_totals =
     [
@@ -512,21 +573,25 @@ let write_trajectory ~path ~scale ~micro ~wall_clock =
   in
   let doc =
     obj
-      [
+      ([
         ("schema", str "zygos-bench/1");
         ("scale", num scale);
         ("micro_ns_per_op", number_map micro);
         ("targets_wall_clock_s", number_map wall_clock);
         ("seed_baseline_ns_per_op", number_map seed_baseline_ns);
-        ("improvement_vs_seed", number_map improvements);
         ("pr3_baseline_ns_per_op", number_map pr3_baseline_ns);
-        ("improvement_vs_pr3", number_map improvements_pr3);
         ("pr4_baseline_ns_per_op", number_map pr4_baseline_ns);
-        ("improvement_vs_pr4", number_map improvements_pr4);
+        ("pr7_baseline_ns_per_op", number_map pr7_baseline_ns);
+      ]
+      @ gated "improvement_vs_seed" ~baseline_scale:seed_baseline_scale seed_baseline_ns
+      @ gated "improvement_vs_pr3" ~baseline_scale:pr3_baseline_scale pr3_baseline_ns
+      @ gated "improvement_vs_pr4" ~baseline_scale:pr4_baseline_scale pr4_baseline_ns
+      @ gated "improvement_vs_pr7" ~baseline_scale:pr7_baseline_scale pr7_baseline_ns
+      @ [
         ("equeue_ns_per_op", number_map !last_equeue);
         ("sweep_pool", number_map pool_totals);
         ("sweep_parallel", number_map !last_sweep_parallel);
-      ]
+      ])
   in
   let oc = open_out path in
   output_string oc doc;
@@ -615,5 +680,5 @@ let () =
        totals.Experiments.Sweep.steals totals.Experiments.Sweep.busy_s
        totals.Experiments.Sweep.wall_s totals.Experiments.Sweep.workers);
   if json_mode then
-    write_trajectory ~path:"BENCH_PR7.json" ~scale ~micro:!last_micro_rows
+    write_trajectory ~path:"BENCH_PR8.json" ~scale ~micro:!last_micro_rows
       ~wall_clock:(List.rev !wall_clock)

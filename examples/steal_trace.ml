@@ -15,12 +15,13 @@ let () =
     if !events <= 40 then
       Format.printf "%8.2fus  %a@." at Systems.Zygos.pp_trace_event ev
   in
+  let pool = Net.Request.create_pool ~recycle:true () in
   let gen =
-    Net.Loadgen.create sim ~rng:(Engine.Rng.split rng) ~conns ~rate:1.2
+    Net.Loadgen.create sim ~rng:(Engine.Rng.split rng) ~pool ~conns ~rate:1.2
       ~service:(Engine.Dist.exponential 10.) ()
   in
   let system =
-    Systems.Zygos.create sim params ~rng:(Engine.Rng.split rng) ~conns
+    Systems.Zygos.create sim params ~rng:(Engine.Rng.split rng) ~pool ~conns
       ~respond:(fun req -> Net.Loadgen.complete gen req)
       ~trace ()
   in

@@ -21,6 +21,7 @@ type entry = {
 type t = {
   sim : Sim.t;
   rng : Rng.t;
+  pool : Request.pool;
   n : int;
   policy : Policy.t;
   bound : int;
@@ -33,7 +34,7 @@ type t = {
   tracked : bool;  (* detect or hedge on: per-request entries + dedupe *)
   entries : (int, entry) Hashtbl.t;
   reqs : (int, Request.t) Hashtbl.t;  (* queued/failover copies need fields *)
-  tor_queue : Request.t Queue.t;  (* JBSQ central FIFO *)
+  tor_queue : Engine.Intq.t;  (* JBSQ central FIFO of request handles *)
   mutable forward : int -> Request.t -> unit;
   respond : Request.t -> unit;
   (* counters *)
@@ -104,9 +105,9 @@ let dispatch_primary t e (req : Request.t) server =
   send t server req
 
 let enqueue_tor t (req : Request.t) =
-  Queue.add req t.tor_queue;
+  Engine.Intq.push t.tor_queue req;
   t.tor_queued <- t.tor_queued + 1;
-  let depth = Queue.length t.tor_queue in
+  let depth = Engine.Intq.length t.tor_queue in
   if depth > t.tor_peak then t.tor_peak <- depth
 
 (* JBSQ handoff: responses (and recoveries) free credits; drain the
@@ -114,13 +115,15 @@ let enqueue_tor t (req : Request.t) =
 let drain_tor t =
   if t.bound < max_int then begin
     let continue_ = ref true in
-    while !continue_ && not (Queue.is_empty t.tor_queue) do
-      match choose t ~conn:(Queue.peek t.tor_queue).Request.conn ~exclude:(-1) with
+    while !continue_ && not (Engine.Intq.is_empty t.tor_queue) do
+      match
+        choose t ~conn:(Request.conn t.pool (Engine.Intq.peek t.tor_queue)) ~exclude:(-1)
+      with
       | -1 -> continue_ := false
       | server ->
-          let req = Queue.pop t.tor_queue in
+          let req = Engine.Intq.pop t.tor_queue in
           if t.tracked then begin
-            match Hashtbl.find_opt t.entries req.Request.id with
+            match Hashtbl.find_opt t.entries (Request.id t.pool req) with
             | Some e when not e.e_done -> dispatch_primary t e req server
             | Some _ | None -> ()
           end
@@ -153,7 +156,7 @@ let submit t (req : Request.t) =
     else begin
       let e =
         {
-          e_id = req.Request.id;
+          e_id = Request.id t.pool req;
           e_attempts = 0;
           e_server = -1;
           e_hedge_server = -1;
@@ -173,10 +176,10 @@ let submit t (req : Request.t) =
     | Some e -> dispatch_primary t e req probe)
   else if
     (* JBSQ FIFO fairness: never overtake requests already held at the ToR. *)
-    t.bound < max_int && not (Queue.is_empty t.tor_queue)
+    t.bound < max_int && not (Engine.Intq.is_empty t.tor_queue)
   then enqueue_tor t req
   else
-    match choose t ~conn:req.Request.conn ~exclude:(-1) with
+    match choose t ~conn:(Request.conn t.pool req) ~exclude:(-1) with
     | -1 ->
         if t.bound < max_int then enqueue_tor t req
         else begin
@@ -193,11 +196,13 @@ let submit t (req : Request.t) =
 
 (* Copy a request for a failover or hedge dispatch: same logical identity
    (id, conn, arrival, service, measured) so client-side latency spans
-   from the original arrival, but a fresh object so two servers never
-   race on the same mutable started/completion fields. *)
-let copy_req (req : Request.t) =
-  Request.make ~id:req.Request.id ~conn:req.Request.conn ~arrival:req.Request.arrival
-    ~service:req.Request.service ~measured:req.Request.measured
+   from the original arrival, but a fresh pool slot so two servers never
+   race on the same mutable started/completion fields. The rack runs its
+   pool without recycling — a copy can outlive the first completion. *)
+let copy_req t (req : Request.t) =
+  Request.alloc t.pool ~id:(Request.id t.pool req) ~conn:(Request.conn t.pool req)
+    ~arrival:(Request.arrival t.pool req) ~service:(Request.service t.pool req)
+    ~measured:(Request.measured t.pool req)
 
 let on_timeout t id =
   match Hashtbl.find_opt t.entries id with
@@ -231,12 +236,13 @@ let on_failover t id =
         match Hashtbl.find_opt t.reqs id with
         | None -> ()
         | Some orig ->
-            let req = copy_req orig in
+            let req = copy_req t orig in
             t.failovers <- t.failovers + 1;
             (* Prefer any server other than the one that just timed out. *)
-            if t.bound < max_int && not (Queue.is_empty t.tor_queue) then enqueue_tor t req
+            if t.bound < max_int && not (Engine.Intq.is_empty t.tor_queue) then
+              enqueue_tor t req
             else (
-              match choose t ~conn:req.Request.conn ~exclude:e.e_server with
+              match choose t ~conn:(Request.conn t.pool req) ~exclude:e.e_server with
               | -1 ->
                   if t.bound < max_int then enqueue_tor t req
                   else t.no_route_drops <- t.no_route_drops + 1
@@ -255,10 +261,10 @@ let on_hedge t id =
             (* Hedge to the best server other than the primary; the copy
                carries no detection timer — the primary's timer still
                governs failover. *)
-            match choose t ~conn:orig.Request.conn ~exclude:e.e_server with
+            match choose t ~conn:(Request.conn t.pool orig) ~exclude:e.e_server with
             | -1 -> ()
             | server ->
-                let req = copy_req orig in
+                let req = copy_req t orig in
                 e.e_hedge_server <- server;
                 t.hedges <- t.hedges + 1;
                 send t server req)
@@ -282,7 +288,7 @@ let on_response t ~server (req : Request.t) =
       end);
   (if not t.tracked then t.respond req
    else
-     match Hashtbl.find_opt t.entries req.Request.id with
+     match Hashtbl.find_opt t.entries (Request.id t.pool req) with
      | None -> t.respond req
      | Some e ->
          if e.e_done then t.duplicates_dropped <- t.duplicates_dropped + 1
@@ -301,7 +307,7 @@ let on_response t ~server (req : Request.t) =
          end);
   drain_tor t
 
-let create sim ~n ~policy ~rng ?(feedback_delay = 0.) ?(feedback_until = 0.) ?detect
+let create sim ~pool ~n ~policy ~rng ?(feedback_delay = 0.) ?(feedback_until = 0.) ?detect
     ?hedge ~respond () =
   if n < 1 then invalid_arg "Dispatch: n < 1";
   Policy.validate policy;
@@ -320,6 +326,7 @@ let create sim ~n ~policy ~rng ?(feedback_delay = 0.) ?(feedback_until = 0.) ?de
     {
       sim;
       rng;
+      pool;
       n;
       policy;
       bound = Policy.bound policy;
@@ -332,7 +339,7 @@ let create sim ~n ~policy ~rng ?(feedback_delay = 0.) ?(feedback_until = 0.) ?de
       tracked;
       entries = Hashtbl.create (if tracked then 4096 else 1);
       reqs = Hashtbl.create (if tracked then 4096 else 1);
-      tor_queue = Queue.create ();
+      tor_queue = Engine.Intq.create ();
       forward = (fun _ _ -> invalid_arg "Dispatch: no servers attached");
       respond;
       dispatched = 0;
@@ -359,12 +366,12 @@ let create sim ~n ~policy ~rng ?(feedback_delay = 0.) ?(feedback_until = 0.) ?de
 let set_forward t forward = t.forward <- forward
 
 let submit t req =
-  if t.tracked then Hashtbl.replace t.reqs req.Request.id req;
+  if t.tracked then Hashtbl.replace t.reqs (Request.id t.pool req) req;
   submit t req
 
 let outstanding_of t i = t.outstanding.(i)
 
-let tor_depth t = Queue.length t.tor_queue
+let tor_depth t = Engine.Intq.length t.tor_queue
 
 let estimator t = t.est
 

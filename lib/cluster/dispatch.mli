@@ -44,6 +44,7 @@ type t
 
 val create :
   Engine.Sim.t ->
+  pool:Net.Request.pool ->
   n:int ->
   policy:Policy.t ->
   rng:Engine.Rng.t ->

@@ -60,7 +60,7 @@ let sum_infos infos =
       List.map (fun (k, _) -> (k, Hashtbl.find tbl k)) first
       @ List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !extra
 
-let create sim cfg ~rng ~make_server ~respond =
+let create sim cfg ~rng ~pool ~make_server ~respond =
   let n = cfg.servers in
   (* RNG stream discipline: server streams split first, in index order, so
      a 1-server rack consumes exactly the splits a bare system run does
@@ -69,7 +69,7 @@ let create sim cfg ~rng ~make_server ~respond =
   let server_rngs = Array.of_list (init_ordered n (fun _ -> Rng.split rng)) in
   let dispatcher_rng = Rng.split rng in
   let dispatch =
-    Dispatch.create sim ~n ~policy:cfg.policy ~rng:dispatcher_rng
+    Dispatch.create sim ~pool ~n ~policy:cfg.policy ~rng:dispatcher_rng
       ~feedback_delay:cfg.feedback_delay ~feedback_until:cfg.feedback_until
       ?detect:cfg.detect ?hedge:cfg.hedge ~respond ()
   in

@@ -57,6 +57,7 @@ val create :
   Engine.Sim.t ->
   config ->
   rng:Engine.Rng.t ->
+  pool:Net.Request.pool ->
   make_server:
     (i:int -> rng:Engine.Rng.t -> respond:(Net.Request.t -> unit) -> Systems.Iface.t) ->
   respond:(Net.Request.t -> unit) ->

@@ -9,16 +9,23 @@ module Make (L : Platform.LOCK) = struct
     t.pushed <- t.pushed + 1;
     L.unlock t.lock
 
+  (* The empty case is the hot one: ZygOS cores probe their remote queue
+     on every scheduler step, and stolen batches are comparatively rare.
+     Probe without touching the lock — [Queue.is_empty] is one field
+     read, and a racing push is caught by the caller's next probe. *)
   let drain t =
-    L.lock t.lock;
-    let rec loop acc =
-      match Queue.take_opt t.items with
-      | Some x -> loop (x :: acc)
-      | None -> List.rev acc
-    in
-    let out = loop [] in
-    L.unlock t.lock;
-    out
+    if Queue.is_empty t.items then []
+    else begin
+      L.lock t.lock;
+      let rec loop acc =
+        match Queue.take_opt t.items with
+        | Some x -> loop (x :: acc)
+        | None -> List.rev acc
+      in
+      let out = loop [] in
+      L.unlock t.lock;
+      out
+    end
 
   let length t =
     L.lock t.lock;
@@ -26,7 +33,7 @@ module Make (L : Platform.LOCK) = struct
     L.unlock t.lock;
     n
 
-  let is_empty t = length t = 0
+  let[@zygos.hot] is_empty t = Queue.is_empty t.items
 
   let pushed_total t = t.pushed
 end

@@ -73,6 +73,35 @@ module type S = sig
   (** Like {!next} with an empty steal order — dispatch only from the
       core's own queue. *)
 
+  (** {2 Zero-allocation dispatch}
+
+      The allocation-free face of {!next}: a successful {!poll} claims
+      the batch into per-core scratch storage (one flat array walk, no
+      list cons per event, no [option]/[source] allocation), read back
+      through the accessors below. The scratch is valid until the same
+      core's next [poll]/[poll_local]; consume it first. {!next} and
+      {!next_local} are list-building wrappers over the same claim, so
+      counters behave identically whichever face is used. *)
+
+  val poll : 'ev t -> core:int -> steal_order:int array -> bool
+  (** Claim the next batch for [core] (own queue first, then steal in
+      [steal_order] under try-locks). [false] = every queue empty. *)
+
+  val poll_local : 'ev t -> core:int -> bool
+
+  val batch_pcb : 'ev t -> core:int -> 'ev pcb
+  (** PCB of the batch claimed by [core]'s last successful poll. Raises
+      [Invalid_argument] before the first dispatch. *)
+
+  val batch_size : 'ev t -> core:int -> int
+
+  val batch_event : 'ev t -> core:int -> int -> 'ev
+  (** Events in arrival order, indices [0, batch_size). Raises
+      [Invalid_argument] out of range. *)
+
+  val batch_stolen_from : 'ev t -> core:int -> int
+  (** Victim core of the last claimed batch, or [-1] if it was local. *)
+
   val complete : 'ev t -> 'ev pcb -> unit
   (** End of the batch: the PCB leaves [Busy]. If events arrived meanwhile
       it re-enters [Ready] (and the home shuffle queue); otherwise it goes

@@ -1,0 +1,93 @@
+(* A growable circular FIFO of immediate ints.
+
+   [Stdlib.Queue] allocates a 3-word cell per [add]; on the per-request
+   hot path (per-connection outstanding FIFOs, NIC rings, shuffle
+   queues) that is one minor allocation per message. This queue stores
+   its elements flat in an int array, so steady-state push/pop allocate
+   nothing; the array doubles on overflow and is never shrunk (the
+   high-water mark of a queue is its natural working-set size).
+
+   Single-owner discipline: not thread safe; every instance is owned by
+   one core/domain, like the engine's event pool. *)
+
+type t = {
+  mutable buf : int array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  if capacity < 1 then invalid_arg "Intq.create: capacity < 1";
+  { buf = Array.make capacity 0; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) 0 in
+  (* Unroll the wrap: oldest element lands at index 0. *)
+  let first = cap - t.head in
+  Array.blit t.buf t.head buf 0 (min t.len first);
+  if t.len > first then Array.blit t.buf 0 buf first (t.len - first);
+  t.buf <- buf;
+  t.head <- 0
+
+let[@zygos.hot] push t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  let tail = t.head + t.len in
+  let tail = if tail >= cap then tail - cap else tail in
+  Array.unsafe_set t.buf tail x;
+  t.len <- t.len + 1
+
+(* [pop]/[peek] return [empty] when the queue is empty: a flat sentinel
+   instead of an [option], so the hot path allocates no [Some]. Callers
+   whose payloads can legitimately be [empty] must guard with
+   [is_empty] first. *)
+let empty = min_int
+
+let[@zygos.hot] pop t =
+  if t.len = 0 then empty
+  else begin
+    let x = Array.unsafe_get t.buf t.head in
+    let head = t.head + 1 in
+    t.head <- (if head = Array.length t.buf then 0 else head);
+    t.len <- t.len - 1;
+    x
+  end
+
+let[@zygos.hot] peek t =
+  if t.len = 0 then empty else Array.unsafe_get t.buf t.head
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let[@zygos.hot] get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intq.get: out of range";
+  let j = t.head + i in
+  let cap = Array.length t.buf in
+  Array.unsafe_get t.buf (if j >= cap then j - cap else j)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+(* Remove every occurrence of [x], preserving the order of the rest;
+   used by the rare bookkeeping repair paths (client order-violation
+   cleanup), not on the steady-state path. *)
+let remove_all t x =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let v = get t i in
+    if v <> x then begin
+      let j = t.head + !kept in
+      let cap = Array.length t.buf in
+      t.buf.(if j >= cap then j - cap else j) <- v;
+      incr kept
+    end
+  done;
+  t.len <- !kept

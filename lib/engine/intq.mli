@@ -1,0 +1,38 @@
+(** Growable circular FIFO of immediate ints: flat storage, zero
+    steady-state allocation (a [Stdlib.Queue] cell costs 3 minor words
+    per [add]). Single-owner; not thread safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Initial capacity defaults to 8; the buffer doubles on overflow and
+    never shrinks. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val push : t -> int -> unit
+
+val empty : int
+(** Sentinel returned by {!pop}/{!peek} on an empty queue ([min_int]).
+    Callers whose payloads can be [min_int] must guard with
+    {!is_empty}. *)
+
+val pop : t -> int
+(** Oldest element, or {!empty}. *)
+
+val peek : t -> int
+(** Oldest element without removing it, or {!empty}. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th oldest element. Raises [Invalid_argument]
+    out of range. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val remove_all : t -> int -> unit
+(** Remove every occurrence, preserving the order of the rest. O(n);
+    for rare repair paths, not the hot path. *)

@@ -1,60 +1,129 @@
-type t = { mutable state : int64 }
+(* SplitMix64 over a one-element Int64 bigarray. The state used to be a
+   [mutable int64] record field, but every write to a boxed-int64 field
+   allocates a fresh box, and the mix arithmetic crossing function
+   boundaries boxed each intermediate — 8 minor words per draw on paths
+   (arrival gaps, service samples, steal-victim shuffles) that run for
+   every simulated request. Bigarray storage is flat, and keeping the
+   whole mix chain inside each draw function lets the compiler keep the
+   intermediates in registers: an [int] draw now allocates nothing and a
+   [float] draw only its boxed result. The draw values are bit-identical
+   to the record version's. *)
+
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = Int64.of_int seed }
+let of_int64 state =
+  let s : t = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 1 in
+  Bigarray.Array1.unsafe_set s 0 state;
+  s
 
-let copy t = { state = t.state }
+let create ~seed = of_int64 (Int64.of_int seed)
+
+let copy (t : t) = of_int64 (Bigarray.Array1.unsafe_get t 0)
 
 let mix64 z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let next_int64 (t : t) =
+  let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+  Bigarray.Array1.unsafe_set t 0 s;
+  mix64 s
 
-let split t =
+let split (t : t) =
   let seed = next_int64 t in
   (* Re-mix so that split streams do not share the master's gamma phase. *)
-  { state = mix64 seed }
+  of_int64 (mix64 seed)
 
-let float t =
+(* The draw bodies below repeat the advance+mix chain instead of calling
+   {!next_int64}: a call returning [int64] boxes its result, an inline
+   chain stays unboxed end to end. *)
+
+let[@zygos.hot] float (t : t) =
+  let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+  Bigarray.Array1.unsafe_set t 0 s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
   (* 53 high-quality bits -> [0, 1). *)
-  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  let bits = Int64.shift_right_logical z 11 in
   Int64.to_float bits *. 0x1p-53
 
-let float_range t lo hi =
+let float_range (t : t) lo hi =
   assert (lo <= hi);
   lo +. (float t *. (hi -. lo))
 
-let int t bound =
+let[@zygos.hot] int (t : t) bound =
   assert (bound > 0);
+  let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+  Bigarray.Array1.unsafe_set t 0 s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
   (* Modulo bias is negligible for bounds << 2^62 (all our uses). *)
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+  Int64.to_int (Int64.rem (Int64.shift_right_logical z 1) (Int64.of_int bound))
 
-let int_range t lo hi =
+let int_range (t : t) lo hi =
   assert (lo <= hi);
   lo + int t (hi - lo + 1)
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool (t : t) = Int64.logand (next_int64 t) 1L = 1L
 
-let bernoulli t p = float t < p
+let[@zygos.hot] bernoulli (t : t) p = float t < p
 
-let exponential t ~mean =
+let[@zygos.hot] exponential (t : t) ~mean =
   (* Inverse CDF; [1. -. float t] avoids log 0. *)
   -.mean *. log (1. -. float t)
 
-let normal t ~mu ~sigma =
+let normal (t : t) ~mu ~sigma =
   let u1 = 1. -. float t and u2 = float t in
   let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
   mu +. (sigma *. z)
 
-let shuffle_in_place t a =
-  for i = Array.length a - 1 downto 1 do
-    let j = int t (i + 1) in
-    let tmp = a.(i) in
-    a.(i) <- a.(j);
-    a.(j) <- tmp
-  done
+(* Fisher–Yates. The small sizes are unrolled with the [int] draw chain
+   inlined and the bound a compile-time constant: [rem 2] of a
+   non-negative operand becomes a mask instead of a 64-bit divide, and
+   steal-victim shuffles (length cores-1, typically 2-3) run on every
+   scheduler poll. Each unrolled draw computes exactly [int t (i + 1)],
+   so the permutation stream is bit-identical to the generic loop's. *)
+let[@zygos.hot] shuffle_in_place (t : t) a =
+  match Array.length a with
+  | 0 | 1 -> ()
+  | 2 ->
+      let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+      Bigarray.Array1.unsafe_set t 0 s;
+      let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+      let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+      let z = Int64.(logxor z (shift_right_logical z 31)) in
+      let j = Int64.to_int (Int64.logand (Int64.shift_right_logical z 1) 1L) in
+      let tmp = Array.unsafe_get a 1 in
+      Array.unsafe_set a 1 (Array.unsafe_get a j);
+      Array.unsafe_set a j tmp
+  | 3 ->
+      let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+      Bigarray.Array1.unsafe_set t 0 s;
+      let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+      let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+      let z = Int64.(logxor z (shift_right_logical z 31)) in
+      let j = Int64.to_int (Int64.rem (Int64.shift_right_logical z 1) 3L) in
+      let tmp = Array.unsafe_get a 2 in
+      Array.unsafe_set a 2 (Array.unsafe_get a j);
+      Array.unsafe_set a j tmp;
+      let s = Int64.add (Bigarray.Array1.unsafe_get t 0) golden_gamma in
+      Bigarray.Array1.unsafe_set t 0 s;
+      let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+      let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+      let z = Int64.(logxor z (shift_right_logical z 31)) in
+      let j = Int64.to_int (Int64.logand (Int64.shift_right_logical z 1) 1L) in
+      let tmp = Array.unsafe_get a 1 in
+      Array.unsafe_set a 1 (Array.unsafe_get a j);
+      Array.unsafe_set a j tmp
+  | n ->
+      for i = n - 1 downto 1 do
+        let j = int t (i + 1) in
+        let tmp = Array.unsafe_get a i in
+        Array.unsafe_set a i (Array.unsafe_get a j);
+        Array.unsafe_set a j tmp
+      done

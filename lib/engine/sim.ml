@@ -115,6 +115,10 @@ let create ?queue () =
 
 let now t = Array.unsafe_get t.clock 0
 
+let clock_buffer t = t.clock
+
+let key_buffer t = t.tbuf
+
 let queue_kind t = Equeue.kind t.queue
 
 let grow_pool t =
@@ -218,6 +222,26 @@ let[@zygos.hot] schedule_fn_after t ~delay fn iarg =
   enqueue_key t h;
   h
 
+(* Keyed variants: the caller stored the absolute time in [t.tbuf]
+   (see {!key_buffer}); no float crosses the call, so nothing boxes. *)
+let[@zygos.hot] schedule_keyed t action =
+  if Array.unsafe_get t.tbuf 0 < Array.unsafe_get t.clock 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_keyed: at %g is in the past (now %g)"
+         (Array.unsafe_get t.tbuf 0) (Array.unsafe_get t.clock 0));
+  let h = prep_action t action in
+  enqueue_key t h;
+  h
+
+let[@zygos.hot] schedule_fn_keyed t fn iarg =
+  if Array.unsafe_get t.tbuf 0 < Array.unsafe_get t.clock 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_fn_keyed: at %g is in the past (now %g)"
+         (Array.unsafe_get t.tbuf 0) (Array.unsafe_get t.clock 0));
+  let h = prep_fn t fn iarg in
+  enqueue_key t h;
+  h
+
 let[@zygos.hot] cancel t h =
   let slot = h land slot_mask in
   let gen = h lsr slot_bits in
@@ -234,21 +258,25 @@ let pending t = Equeue.length t.queue
 let live t = t.n_scheduled - t.n_fired - t.n_cancelled
 
 (* Fire the event behind [h] (whose time the pop left in [t.tbuf]), or
-   skip it if its generation is stale (cancelled); returns false only
-   from [step] recursing on an empty queue. The clock only advances on
-   an actual fire, and is copied flat from [tbuf] before the callback
-   runs (which may overwrite [tbuf] by scheduling). *)
-let[@zygos.hot] rec dispatch t h =
+   skip it if its generation is stale (cancelled); returns whether a
+   callback actually ran. The clock only advances on an actual fire,
+   and is copied flat from [tbuf] before the callback runs (which may
+   overwrite [tbuf] by scheduling). *)
+let[@zygos.hot] fire t h =
   let slot = h land slot_mask in
   let gen = h lsr slot_bits in
-  if Array.unsafe_get t.gens slot <> gen then step t (* cancelled; slot recycled *)
+  if Array.unsafe_get t.gens slot <> gen then false (* cancelled; slot recycled *)
   else begin
     let fn = Array.unsafe_get t.fns slot in
     if fn != noop_fn then begin
       (* read the payload before releasing: the fn may reschedule into
-         this very slot *)
+         this very slot. A fn slot's release skips {!release_slot}'s
+         [actions] scrub check — fn slots never hold a closure, and the
+         check would drag the [actions] array into cache on every fire. *)
       let iarg = Array.unsafe_get t.iargs slot in
-      release_slot t slot;
+      Array.unsafe_set t.gens slot (Array.unsafe_get t.gens slot + 1);
+      Array.unsafe_set t.free t.free_top slot;
+      t.free_top <- t.free_top + 1;
       t.n_fired <- t.n_fired + 1;
       Array.unsafe_set t.clock 0 (Array.unsafe_get t.tbuf 0);
       fn iarg
@@ -263,15 +291,34 @@ let[@zygos.hot] rec dispatch t h =
     true
   end
 
-and step t =
-  (match t.queue with
-   | Equeue.H hp ->
-       if Heap.is_empty hp then false else dispatch t (Heap.pop_into hp t.tbuf)
-   | Equeue.W w ->
-       if Wheel.is_empty w then false else dispatch t (Wheel.pop_into w t.tbuf))
-[@@zygos.hot]
+let[@zygos.hot] step t =
+  match t.queue with
+  | Equeue.H hp ->
+      let fired = ref false in
+      while (not !fired) && not (Heap.is_empty hp) do
+        fired := fire t (Heap.pop_into hp t.tbuf)
+      done;
+      !fired
+  | Equeue.W w ->
+      let fired = ref false in
+      while (not !fired) && not (Wheel.is_empty w) do
+        fired := fire t (Wheel.pop_into w t.tbuf)
+      done;
+      !fired
 
-let run t = while step t do () done
+(* The drain loop matches on the back end once, outside the loop; stale
+   (cancelled) pops need no retry here because the loop condition is
+   queue emptiness, not "fired". *)
+let run t =
+  match t.queue with
+  | Equeue.H hp ->
+      while not (Heap.is_empty hp) do
+        ignore (fire t (Heap.pop_into hp t.tbuf) : bool)
+      done
+  | Equeue.W w ->
+      while not (Wheel.is_empty w) do
+        ignore (fire t (Wheel.pop_into w t.tbuf) : bool)
+      done
 
 let run_until t horizon =
   while (not (Equeue.is_empty t.queue)) && Equeue.min_time t.queue <= horizon do

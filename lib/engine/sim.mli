@@ -64,6 +64,24 @@ val queue_kind : t -> Equeue.kind
 val now : t -> float
 (** Current simulated time (µs). *)
 
+val clock_buffer : t -> float array
+(** The one-element backing buffer of the simulation clock, so embedders'
+    hot paths can read the current time with one inline array load
+    instead of a call. Read-only: writing to it corrupts the clock. *)
+
+val key_buffer : t -> float array
+(** The one-element buffer through which event times travel to the
+    queue. Write the absolute time into slot 0 and call
+    {!schedule_keyed} / {!schedule_fn_keyed}: the float never crosses a
+    call boundary, so a steady-state schedule allocates nothing (a
+    [~at:] float argument is boxed at every call site). *)
+
+val schedule_keyed : t -> (unit -> unit) -> handle
+(** Like {!schedule}, with the time taken from {!key_buffer} slot 0. *)
+
+val schedule_fn_keyed : t -> (int -> unit) -> int -> handle
+(** Like {!schedule_fn}, with the time taken from {!key_buffer} slot 0. *)
+
 val schedule : t -> at:float -> (unit -> unit) -> handle
 (** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not
     be in the past (raises [Invalid_argument]). Allocates the closure the

@@ -398,12 +398,20 @@ let[@zygos.hot] add t ~time v =
   Array.unsafe_set t.kbuf 0 time;
   add_key t t.kbuf v
 
-let[@zygos.hot] min_time t = if ensure_run t then Array.unsafe_get t.run_times t.run_pos else infinity
+(* The [t.run_pos < t.run_len || ...] guards below repeat
+   {!ensure_run}'s own fast path inline: [ensure_run] is recursive (so
+   never inlined), and in steady state the run already holds the
+   minimum, making the call pure overhead on every pop. *)
+let[@zygos.hot] min_time t =
+  if t.run_pos < t.run_len || ensure_run t then Array.unsafe_get t.run_times t.run_pos
+  else infinity
 
-let[@zygos.hot] min_elt t = if ensure_run t then Array.unsafe_get t.run_vals t.run_pos else t.dummy
+let[@zygos.hot] min_elt t =
+  if t.run_pos < t.run_len || ensure_run t then Array.unsafe_get t.run_vals t.run_pos
+  else t.dummy
 
 let[@zygos.hot] drop_min t =
-  if ensure_run t then begin
+  if t.run_pos < t.run_len || ensure_run t then begin
     t.run_pos <- t.run_pos + 1;
     if t.run_pos = t.run_len then begin
       t.run_pos <- 0;
@@ -415,7 +423,7 @@ let[@zygos.hot] drop_min t =
    boxed-float return) and returning its payload; [dummy] when empty.
    The simulator's step loop pops through this. *)
 let[@zygos.hot] pop_into t buf =
-  if ensure_run t then begin
+  if t.run_pos < t.run_len || ensure_run t then begin
     let p = t.run_pos in
     Array.unsafe_set buf 0 (Array.unsafe_get t.run_times p);
     let v = Array.unsafe_get t.run_vals p in

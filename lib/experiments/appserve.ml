@@ -87,8 +87,9 @@ let run_point t ~system ~load ?(cores = 16) ?(conns = 2752) ?(requests = 15_000)
   (* The nominal distribution is only used for the mean; service_fn
      overrides per-request sampling. *)
   let nominal = Engine.Dist.deterministic t.target_mean in
+  let pool = Net.Request.create_pool ~recycle:true () in
   let gen =
-    Net.Loadgen.create sim ~rng:loadgen_rng ~conns ~rate ~service:nominal
+    Net.Loadgen.create sim ~rng:loadgen_rng ~pool ~conns ~rate ~service:nominal
       ~service_fn:(fun ~conn -> service_fn t ~conn)
       ()
   in
@@ -96,15 +97,17 @@ let run_point t ~system ~load ?(cores = 16) ?(conns = 2752) ?(requests = 15_000)
   let params = Systems.Params.default ~cores () in
   let iface =
     match system with
-    | Run.Linux_partitioned -> Systems.Linux.partitioned sim params ~conns ~respond
-    | Run.Linux_floating -> Systems.Linux.floating sim params ~conns ~respond
-    | Run.Ix b -> Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~conns ~respond
-    | Run.Zygos -> Systems.Zygos.create sim params ~rng:system_rng ~conns ~respond ()
+    | Run.Linux_partitioned -> Systems.Linux.partitioned sim params ~pool ~conns ~respond
+    | Run.Linux_floating -> Systems.Linux.floating sim params ~pool ~conns ~respond
+    | Run.Ix b ->
+        Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~pool ~conns ~respond
+    | Run.Zygos -> Systems.Zygos.create sim params ~rng:system_rng ~pool ~conns ~respond ()
     | Run.Zygos_no_interrupts ->
-        Systems.Zygos.create sim (Systems.Params.no_interrupts params) ~rng:system_rng ~conns
-          ~respond ()
+        Systems.Zygos.create sim (Systems.Params.no_interrupts params) ~rng:system_rng ~pool
+          ~conns ~respond ()
     | Run.Preemptive quantum ->
-        Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~conns ~respond ()
+        Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~pool ~conns ~respond
+          ()
     | Run.Ix_rebalanced _ | Run.Model_central_fcfs | Run.Model_partitioned_fcfs ->
         invalid_arg "Appserve.run_point: unsupported system kind"
   in

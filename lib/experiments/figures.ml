@@ -580,12 +580,13 @@ let ablate_poll ~jobs ~scale =
         let loadgen_rng = Engine.Rng.split rng in
         let system_rng = Engine.Rng.split rng in
         let rate = load *. float_of_int cores /. Dist.mean service in
+        let pool = Net.Request.create_pool ~recycle:true () in
         let gen =
-          Net.Loadgen.create sim ~rng:loadgen_rng ~conns:2752 ~rate ~service ()
+          Net.Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:2752 ~rate ~service ()
         in
         let params = { (Systems.Params.default ~cores ()) with zy_poll_random = random } in
         let system =
-          Systems.Zygos.create sim params ~rng:system_rng ~conns:2752
+          Systems.Zygos.create sim params ~rng:system_rng ~pool ~conns:2752
             ~respond:(fun req -> Net.Loadgen.complete gen req)
             ()
         in
@@ -748,13 +749,16 @@ let ext_consolidate ~jobs ~scale =
     let rng = Engine.Rng.create ~seed in
     let loadgen_rng = Engine.Rng.split rng in
     let rate = load *. float_of_int cores /. Dist.mean service in
-    let gen = Net.Loadgen.create sim ~rng:loadgen_rng ~conns:2752 ~rate ~service () in
+    let pool = Net.Request.create_pool ~recycle:true () in
+    let gen =
+      Net.Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:2752 ~rate ~service ()
+    in
     let params = Systems.Params.default ~cores () in
     let consolidate =
       if consolidate then Some Systems.Preemptive.default_consolidation else None
     in
     let system =
-      Systems.Preemptive.create sim params ~quantum:10. ~switch_cost:0.3 ~conns:2752
+      Systems.Preemptive.create sim params ~quantum:10. ~switch_cost:0.3 ~pool ~conns:2752
         ~respond:(fun req -> Net.Loadgen.complete gen req)
         ?consolidate ()
     in

@@ -52,7 +52,7 @@ let config ?(servers = 4) ?(system = Run.Zygos) ?(cores = 16) ?(conns = 2752)
 (* One server instance: the same construction Run.run_real_point performs,
    with the failure plan's Degraded windows applied as that server's
    straggler specs. *)
-let make_server cfg sim ~i ~rng ~respond =
+let make_server cfg sim ~pool ~i ~rng ~respond =
   let params =
     Systems.Params.with_stragglers
       (Systems.Params.with_rpc_packets
@@ -61,16 +61,19 @@ let make_server cfg sim ~i ~rng ~respond =
       (Cluster.Failplan.stragglers cfg.failplan ~server:i ~cores:cfg.cores)
   in
   match cfg.system with
-  | Run.Linux_partitioned -> Systems.Linux.partitioned sim params ~conns:cfg.conns ~respond
-  | Run.Linux_floating -> Systems.Linux.floating sim params ~conns:cfg.conns ~respond
+  | Run.Linux_partitioned ->
+      Systems.Linux.partitioned sim params ~pool ~conns:cfg.conns ~respond
+  | Run.Linux_floating -> Systems.Linux.floating sim params ~pool ~conns:cfg.conns ~respond
   | Run.Ix b ->
-      Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~conns:cfg.conns ~respond
-  | Run.Zygos -> Systems.Zygos.create sim params ~rng ~conns:cfg.conns ~respond ()
+      Systems.Ix.create sim
+        (Systems.Params.with_ix_batch params b)
+        ~pool ~conns:cfg.conns ~respond
+  | Run.Zygos -> Systems.Zygos.create sim params ~rng ~pool ~conns:cfg.conns ~respond ()
   | Run.Zygos_no_interrupts ->
-      Systems.Zygos.create sim (Systems.Params.no_interrupts params) ~rng ~conns:cfg.conns
-        ~respond ()
+      Systems.Zygos.create sim (Systems.Params.no_interrupts params) ~rng ~pool
+        ~conns:cfg.conns ~respond ()
   | Run.Preemptive quantum ->
-      Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~conns:cfg.conns
+      Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~pool ~conns:cfg.conns
         ~respond ()
   | Run.Ix_rebalanced _ | Run.Model_central_fcfs | Run.Model_partitioned_fcfs ->
       assert false
@@ -81,9 +84,12 @@ let run cfg ~load =
   let loadgen_rng = Rng.split rng in
   let mean = Dist.mean cfg.service in
   let rate = load *. float_of_int (cfg.cores * cfg.servers) /. mean in
+  (* Never recycle slots in a rack: failover and hedge copies of a request
+     (same logical id, fresh slots) can outlive its first completion. *)
+  let pool = Net.Request.create_pool ~recycle:false () in
   let gen =
-    Net.Loadgen.create sim ~rng:loadgen_rng ~conns:cfg.conns ~rate ~service:cfg.service
-      ~slo:cfg.slo ?retry:cfg.retry ()
+    Net.Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:cfg.conns ~rate
+      ~service:cfg.service ~slo:cfg.slo ?retry:cfg.retry ()
   in
   let measure = float_of_int cfg.requests /. rate in
   let warmup = 0.2 *. measure in
@@ -94,8 +100,8 @@ let run cfg ~load =
       ?detect:cfg.detect ?hedge:cfg.hedge ~failplan:cfg.failplan ()
   in
   let rack =
-    Cluster.Rack.create sim rack_cfg ~rng
-      ~make_server:(fun ~i ~rng ~respond -> make_server cfg sim ~i ~rng ~respond)
+    Cluster.Rack.create sim rack_cfg ~rng ~pool
+      ~make_server:(fun ~i ~rng ~respond -> make_server cfg sim ~pool ~i ~rng ~respond)
       ~respond:(fun req -> Net.Loadgen.complete gen req)
   in
   let iface = Cluster.Rack.iface rack in

@@ -123,9 +123,16 @@ let run_real_point cfg ~load =
   let system_rng = Rng.split rng in
   let mean = Dist.mean cfg.service in
   let rate = load *. float_of_int cfg.cores /. mean in
+  (* Request slots recycle through the pool's free list only when nothing
+     outlives the first completion: a retry layer keeps timed-out handles
+     around for late responses, and fault layers can hold delayed
+     deliveries; in both cases slots must stay live (the pool then just
+     grows to the in-flight high-water mark). *)
+  let recycle = Option.is_none cfg.faults && Option.is_none cfg.retry in
+  let rpool = Net.Request.create_pool ~recycle () in
   let gen =
-    Net.Loadgen.create sim ~rng:loadgen_rng ~conns:cfg.conns ~rate ~service:cfg.service
-      ~selection:cfg.selection ~slo:cfg.slo ?retry:cfg.retry ()
+    Net.Loadgen.create sim ~rng:loadgen_rng ~pool:rpool ~conns:cfg.conns ~rate
+      ~service:cfg.service ~selection:cfg.selection ~slo:cfg.slo ?retry:cfg.retry ()
   in
   (* Admission control sits between the (possibly lossy) network and the
      server; built only when a shedding policy is configured so the
@@ -133,7 +140,7 @@ let run_real_point cfg ~load =
   let guard =
     match cfg.shed with
     | Systems.Overload.No_shed -> None
-    | policy -> Some (Systems.Overload.create sim ~policy ())
+    | policy -> Some (Systems.Overload.create sim ~pool:rpool ~policy ())
   in
   let respond =
     match guard with
@@ -151,21 +158,26 @@ let run_real_point cfg ~load =
   let extra_info = ref (fun () -> []) in
   let system =
     match cfg.system with
-    | Linux_partitioned -> Systems.Linux.partitioned sim params ~conns:cfg.conns ~respond
-    | Linux_floating -> Systems.Linux.floating sim params ~conns:cfg.conns ~respond
-    | Ix b -> Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~conns:cfg.conns ~respond
-    | Zygos -> Systems.Zygos.create sim params ~rng:system_rng ~conns:cfg.conns ~respond ()
+    | Linux_partitioned ->
+        Systems.Linux.partitioned sim params ~pool:rpool ~conns:cfg.conns ~respond
+    | Linux_floating -> Systems.Linux.floating sim params ~pool:rpool ~conns:cfg.conns ~respond
+    | Ix b ->
+        Systems.Ix.create sim (Systems.Params.with_ix_batch params b) ~pool:rpool
+          ~conns:cfg.conns ~respond
+    | Zygos ->
+        Systems.Zygos.create sim params ~rng:system_rng ~pool:rpool ~conns:cfg.conns ~respond
+          ()
     | Zygos_no_interrupts ->
         Systems.Zygos.create sim
           (Systems.Params.no_interrupts params)
-          ~rng:system_rng ~conns:cfg.conns ~respond ()
+          ~rng:system_rng ~pool:rpool ~conns:cfg.conns ~respond ()
     | Preemptive quantum ->
-        Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~conns:cfg.conns
-          ~respond ()
+        Systems.Preemptive.create sim params ~quantum ~switch_cost:0.3 ~pool:rpool
+          ~conns:cfg.conns ~respond ()
     | Ix_rebalanced window ->
         let rss = Net.Rss.create ~queues:cfg.cores () in
         let iface, read_counts =
-          Systems.Ix.create_with_rss sim params ~rss ~conns:cfg.conns ~respond
+          Systems.Ix.create_with_rss sim params ~pool:rpool ~rss ~conns:cfg.conns ~respond
         in
         let stats =
           Systems.Rebalance.attach sim ~rss ~queues:cfg.cores ~read_counts ~window ()

@@ -4,79 +4,189 @@ type command =
   | Delete of string
 
 (* The parser is a resumable state machine: either waiting for a command
-   line, or waiting for the <bytes>+2 data block of a set. *)
+   line, or waiting for the <bytes>+2 data block of a set. Pending input
+   lives in one flat [Bytes.t] with a consumed cursor; command lines are
+   tokenized in place by index so the steady state allocates only the
+   emitted command (its key and data strings). *)
 type mode = Line | Data of { key : string; flags : int; exptime : int; bytes : int }
 
-type parser_state = { buf : Buffer.t; mutable consumed : int; mutable mode : mode }
+type parser_state = {
+  mutable buf : Bytes.t;
+  mutable len : int;  (* bytes of [buf] holding input *)
+  mutable pos : int;  (* consumed cursor: [pos..len) is pending *)
+  mutable mode : mode;
+}
 
-let create_parser () = { buf = Buffer.create 256; consumed = 0; mode = Line }
+let initial_capacity = 256
 
-(* Drop already-consumed bytes once they dominate the buffer. *)
+let create_parser () =
+  { buf = Bytes.create initial_capacity; len = 0; pos = 0; mode = Line }
+
+let pending_bytes t = t.len - t.pos
+
+let buffer_capacity t = Bytes.length t.buf
+
+(* Reclaim consumed space by sliding the pending tail to the front.
+   Fraction-of-capacity rule: compact as soon as the dead prefix reaches
+   half the capacity, whatever its absolute size — a stream of tiny
+   commands then recycles the same buffer forever instead of ratcheting
+   it up (the old threshold compared consumed bytes against a fixed
+   4 KiB floor, so sub-4K buffers never compacted and every grow copied
+   an ever-longer dead prefix). *)
 let compact t =
-  if t.consumed > 4096 && t.consumed * 2 > Buffer.length t.buf then begin
-    let rest = Buffer.sub t.buf t.consumed (Buffer.length t.buf - t.consumed) in
-    Buffer.clear t.buf;
-    Buffer.add_string t.buf rest;
-    t.consumed <- 0
+  if 2 * t.pos >= Bytes.length t.buf then begin
+    let pending = t.len - t.pos in
+    Bytes.blit t.buf t.pos t.buf 0 pending;
+    t.pos <- 0;
+    t.len <- pending
   end
 
-let pending_bytes t = Buffer.length t.buf - t.consumed
+(* Make room to append [n] bytes. Compacts first; the capacity grows only
+   when the pending bytes themselves outgrow it. *)
+let reserve t n =
+  if t.len + n > Bytes.length t.buf then begin
+    let pending = t.len - t.pos in
+    Bytes.blit t.buf t.pos t.buf 0 pending;
+    t.pos <- 0;
+    t.len <- pending;
+    if pending + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while pending + n > !cap do
+        cap := 2 * !cap
+      done;
+      let nbuf = Bytes.create !cap in
+      Bytes.blit t.buf 0 nbuf 0 pending;
+      t.buf <- nbuf
+    end
+  end
 
-(* Find "\r\n" starting at [from]; return the index of '\r'. *)
-let find_crlf t from =
-  let len = Buffer.length t.buf in
-  let rec loop i =
-    if i + 1 >= len then None
-    else if Buffer.nth t.buf i = '\r' && Buffer.nth t.buf (i + 1) = '\n' then Some i
-    else loop (i + 1)
-  in
-  loop from
+(* Find "\r\n" at or after [from]; return the index of '\r', or -1. *)
+let[@zygos.hot] rec crlf_scan buf i last =
+  if i >= last then -1
+  else if Bytes.unsafe_get buf i = '\r' && Bytes.unsafe_get buf (i + 1) = '\n' then i
+  else crlf_scan buf (i + 1) last
 
-let parse_command_line line =
-  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-  | [ ("get" | "gets"); key ] -> Ok (`Get key)
-  | [ "delete"; key ] -> Ok (`Delete key)
-  | [ "set"; key; flags; exptime; bytes ] -> (
-      match (int_of_string_opt flags, int_of_string_opt exptime, int_of_string_opt bytes) with
-      | Some flags, Some exptime, Some bytes when bytes >= 0 ->
-          Ok (`Set (key, flags, exptime, bytes))
-      | _ -> Error ("bad set arguments: " ^ line))
-  | [] -> Error "empty command"
-  | cmd :: _ -> Error ("unknown command: " ^ cmd)
+let[@zygos.hot] find_crlf t from = crlf_scan t.buf from (t.len - 1)
+
+let[@zygos.hot] rec skip_spaces buf i limit =
+  if i < limit && Bytes.unsafe_get buf i = ' ' then skip_spaces buf (i + 1) limit else i
+
+let[@zygos.hot] rec token_end buf i limit =
+  if i < limit && Bytes.unsafe_get buf i <> ' ' then token_end buf (i + 1) limit else i
+
+(* Does buf[i, j) spell [kw]? *)
+let[@zygos.hot] rec span_eq buf i kw k n =
+  k = n || (Bytes.unsafe_get buf (i + k) = String.unsafe_get kw k && span_eq buf i kw (k + 1) n)
+
+let[@zygos.hot] span_equals buf i j kw =
+  let n = String.length kw in
+  j - i = n && span_eq buf i kw 0 n
+
+(* Decimal integer in buf[i, j); [min_int] marks a malformed span. *)
+let[@zygos.hot] rec parse_digits buf i j acc =
+  if i = j then acc
+  else begin
+    let d = Char.code (Bytes.unsafe_get buf i) - Char.code '0' in
+    if d < 0 || d > 9 then min_int
+    else begin
+      let acc = (acc * 10) + d in
+      if acc < 0 then min_int else parse_digits buf (i + 1) j acc
+    end
+  end
+
+let[@zygos.hot] parse_int buf i j =
+  if i >= j then min_int
+  else if Bytes.unsafe_get buf i = '-' then begin
+    if i + 1 >= j then min_int
+    else begin
+      let v = parse_digits buf (i + 1) j 0 in
+      if v = min_int then min_int else -v
+    end
+  end
+  else parse_digits buf i j 0
+
+let line_string t i cr = Bytes.sub_string t.buf i (cr - i)
+
+(* One command line, buf[i, cr), tokenized by cursor walks. *)
+let parse_line t emit i cr =
+  let buf = t.buf in
+  let a = skip_spaces buf i cr in
+  if a >= cr then emit (Error "empty command")
+  else begin
+    let b = token_end buf a cr in
+    if span_equals buf a b "get" || span_equals buf a b "gets" then begin
+      let ka = skip_spaces buf b cr in
+      let kb = token_end buf ka cr in
+      if ka >= cr || skip_spaces buf kb cr < cr then
+        emit (Error ("bad get arguments: " ^ line_string t i cr))
+      else emit (Ok (Get (Bytes.sub_string buf ka (kb - ka))))
+    end
+    else if span_equals buf a b "delete" then begin
+      let ka = skip_spaces buf b cr in
+      let kb = token_end buf ka cr in
+      if ka >= cr || skip_spaces buf kb cr < cr then
+        emit (Error ("bad delete arguments: " ^ line_string t i cr))
+      else emit (Ok (Delete (Bytes.sub_string buf ka (kb - ka))))
+    end
+    else if span_equals buf a b "set" then begin
+      let ka = skip_spaces buf b cr in
+      let kb = token_end buf ka cr in
+      let fa = skip_spaces buf kb cr in
+      let fb = token_end buf fa cr in
+      let ea = skip_spaces buf fb cr in
+      let eb = token_end buf ea cr in
+      let ba = skip_spaces buf eb cr in
+      let bb = token_end buf ba cr in
+      if ka >= cr || fa >= cr || ea >= cr || ba >= cr || skip_spaces buf bb cr < cr then
+        emit (Error ("bad set arguments: " ^ line_string t i cr))
+      else begin
+        let flags = parse_int buf fa fb in
+        let exptime = parse_int buf ea eb in
+        let bytes = parse_int buf ba bb in
+        if flags = min_int || exptime = min_int || bytes = min_int || bytes < 0 then
+          emit (Error ("bad set arguments: " ^ line_string t i cr))
+        else
+          t.mode <- Data { key = Bytes.sub_string buf ka (kb - ka); flags; exptime; bytes }
+      end
+    end
+    else emit (Error ("unknown command: " ^ Bytes.sub_string buf a (b - a)))
+  end
+
+let rec drive t emit =
+  match t.mode with
+  | Line ->
+      let cr = find_crlf t t.pos in
+      if cr >= 0 then begin
+        let start = t.pos in
+        t.pos <- cr + 2;
+        parse_line t emit start cr;
+        drive t emit
+      end
+  | Data { key; flags; exptime; bytes } ->
+      if t.len - t.pos >= bytes + 2 then begin
+        let data = Bytes.sub_string t.buf t.pos bytes in
+        let terminated =
+          Bytes.unsafe_get t.buf (t.pos + bytes) = '\r'
+          && Bytes.unsafe_get t.buf (t.pos + bytes + 1) = '\n'
+        in
+        t.pos <- t.pos + bytes + 2;
+        t.mode <- Line;
+        if terminated then emit (Ok (Set { key; flags; exptime; data }))
+        else emit (Error "set data not terminated by CRLF");
+        drive t emit
+      end
+
+let feed_iter t chunk emit =
+  let n = String.length chunk in
+  reserve t n;
+  Bytes.blit_string chunk 0 t.buf t.len n;
+  t.len <- t.len + n;
+  drive t emit;
+  compact t
 
 let feed t chunk =
-  Buffer.add_string t.buf chunk;
   let out = ref [] in
-  let emit x = out := x :: !out in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    match t.mode with
-    | Line -> (
-        match find_crlf t t.consumed with
-        | None -> ()
-        | Some cr ->
-            let line = Buffer.sub t.buf t.consumed (cr - t.consumed) in
-            t.consumed <- cr + 2;
-            progress := true;
-            (match parse_command_line line with
-            | Ok (`Get key) -> emit (Ok (Get key))
-            | Ok (`Delete key) -> emit (Ok (Delete key))
-            | Ok (`Set (key, flags, exptime, bytes)) ->
-                t.mode <- Data { key; flags; exptime; bytes }
-            | Error e -> emit (Error e)))
-    | Data { key; flags; exptime; bytes } ->
-        if pending_bytes t >= bytes + 2 then begin
-          let data = Buffer.sub t.buf t.consumed bytes in
-          let term = Buffer.sub t.buf (t.consumed + bytes) 2 in
-          t.consumed <- t.consumed + bytes + 2;
-          t.mode <- Line;
-          progress := true;
-          if String.equal term "\r\n" then emit (Ok (Set { key; flags; exptime; data }))
-          else emit (Error "set data not terminated by CRLF")
-        end
-  done;
-  compact t;
+  feed_iter t chunk (fun r -> out := r :: !out);
   List.rev !out
 
 let render_command = function

@@ -15,7 +15,11 @@ type command =
   | Delete of string
 
 type parser_state
-(** Buffers partial input across [feed] calls. *)
+(** Buffers partial input across [feed] calls in one flat byte buffer;
+    command lines are tokenized in place, so a parse allocates only the
+    emitted command. The consumed prefix is reclaimed whenever it reaches
+    half the buffer's capacity, so a long-lived connection of small
+    commands never grows the buffer. *)
 
 val create_parser : unit -> parser_state
 
@@ -24,8 +28,15 @@ val feed : parser_state -> string -> (command, string) result list
     [Error reason] marks a malformed line (the line is consumed; parsing
     continues at the next line, like memcached's CLIENT_ERROR). *)
 
+val feed_iter : parser_state -> string -> ((command, string) result -> unit) -> unit
+(** [feed] without the result list: each completed command is passed to
+    the callback as it is framed. The hot-path entry point. *)
+
 val pending_bytes : parser_state -> int
 (** Bytes buffered waiting for more input. *)
+
+val buffer_capacity : parser_state -> int
+(** Current size of the backing buffer (for bounding tests). *)
 
 val render_command : command -> string
 (** Wire encoding of a command (for clients / tests). *)

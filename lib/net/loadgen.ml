@@ -57,7 +57,10 @@ let no_timeout : Sim.handle = Sim.no_handle
 
 type t = {
   sim : Sim.t;
+  clk : float array;  (* [Sim.clock_buffer sim]: inline now-reads on hot paths *)
+  kbuf : float array;  (* [Sim.key_buffer sim]: keyed schedules, no boxed [~at] *)
   rng : Rng.t;
+  pool : Request.pool;  (* the experiment's request arena *)
   conns : int;
   rate : float;
   service : Dist.t;
@@ -84,7 +87,7 @@ type t = {
   mutable measure_end : float;
   mutable window_completions : int;
   latencies : Stats.Tally.t;
-  outstanding : int Queue.t array;  (* per-conn FIFO of pending request ids *)
+  outstanding : Engine.Intq.t array;  (* per-conn FIFO of pending request ids *)
   (* Long-lived timeout/retransmit dispatch fns ([Sim.schedule_fn]),
      keyed by logical request id; bound in [create] when retries are on. *)
   mutable fn_timeout : int -> unit;
@@ -122,17 +125,18 @@ let[@zygos.hot] on_timeout t p r =
   end
 
 and retransmit t p r =
+  let id = t.next_id in
   let req =
-    Request.make ~id:t.next_id ~conn:p.p_conn ~arrival:(Sim.now t.sim) ~service:p.p_service
+    Request.alloc t.pool ~id ~conn:p.p_conn ~arrival:(Sim.now t.sim) ~service:p.p_service
       ~measured:false
   in
   t.next_id <- t.next_id + 1;
   t.retries <- t.retries + 1;
-  Hashtbl.replace t.phys2log req.Request.id p.p_id;
+  Hashtbl.replace t.phys2log id p.p_id;
   arm_timeout t p r;
   send t req
 
-let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
+let create sim ~rng ~pool ~conns ~rate ~service ?(selection = Uniform) ?service_fn
     ?(slo = infinity) ?retry () =
   if conns < 1 then invalid_arg "Loadgen.create: conns < 1";
   if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
@@ -146,7 +150,10 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
   let t =
     {
       sim;
+      clk = Sim.clock_buffer sim;
+      kbuf = Sim.key_buffer sim;
       rng;
+      pool;
       conns;
       rate;
       service;
@@ -175,7 +182,7 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
       measure_end = infinity;
       window_completions = 0;
       latencies = Stats.Tally.create ();
-      outstanding = Array.init conns (fun _ -> Queue.create ());
+      outstanding = Array.init conns (fun _ -> Engine.Intq.create ());
       fn_timeout = ignore;
       fn_retry = ignore;
     }
@@ -200,7 +207,7 @@ let create sim ~rng ~conns ~rate ~service ?(selection = Uniform) ?service_fn
   t
 
 let[@zygos.hot] emit t ~measure_start ~stop_at =
-  let now = Sim.now t.sim in
+  let now = Array.unsafe_get t.clk 0 in
   let conn =
     match t.selection with
     | Uniform -> Rng.int t.rng t.conns
@@ -216,7 +223,8 @@ let[@zygos.hot] emit t ~measure_start ~stop_at =
     | None -> Dist.sample t.service t.rng
   in
   let measured = now >= measure_start && now < stop_at in
-  let req = Request.make ~id:t.next_id ~conn ~arrival:now ~service ~measured in
+  let id = t.next_id in
+  let req = Request.alloc t.pool ~id ~conn ~arrival:now ~service ~measured in
   t.next_id <- t.next_id + 1;
   t.generated <- t.generated + 1;
   if measured then t.measured_generated <- t.measured_generated + 1;
@@ -225,13 +233,13 @@ let[@zygos.hot] emit t ~measure_start ~stop_at =
       (* Per-connection ordering bookkeeping (see [complete]). With retries
          on, the queues are unused: retransmissions make the FIFO invariant
          meaningless, so losses surface as timeouts instead. *)
-      Queue.add req.Request.id t.outstanding.(conn)
+      Engine.Intq.push t.outstanding.(conn) id
   | Some r ->
       (* Per-logical-request state, retry mode only: one record per
          request for its whole lifetime, not per event. *)
       let p =
         {
-          p_id = req.Request.id;
+          p_id = id;
           p_conn = conn;
           p_service = service;
           p_measured = measured;
@@ -256,10 +264,13 @@ let start t ~warmup ~measure =
   t.measure_start <- measure_start;
   t.measure_end <- stop_at;
   let rec arrival () =
-    if Sim.now t.sim < stop_at then begin
+    if Array.unsafe_get t.clk 0 < stop_at then begin
       emit t ~measure_start ~stop_at;
       let gap = Rng.exponential t.rng ~mean:(1. /. t.rate) in
-      ignore (Sim.schedule_after t.sim ~delay:gap arrival : Sim.handle)
+      (* Keyed schedule: same [clock +. delay] arithmetic as
+         [schedule_after], with the time handed over flat. *)
+      Array.unsafe_set t.kbuf 0 (Array.unsafe_get t.clk 0 +. gap);
+      ignore (Sim.schedule_keyed t.sim arrival : Sim.handle)
     end
   in
   let first_gap = Rng.exponential t.rng ~mean:(1. /. t.rate) in
@@ -282,34 +293,33 @@ let[@zygos.hot] record_completion t ~now ~measured ~lat =
     Stats.Tally.record t.latencies lat
   end
 
-let complete t (req : Request.t) =
-  if Request.is_completed req then
+let[@zygos.hot] complete t (req : Request.t) =
+  if Request.is_completed t.pool req then
     (* Duplicate responses are legitimate under packet duplication and
        under client retries; count them instead of raising. *)
     t.duplicate_completions <- t.duplicate_completions + 1
   else begin
-    req.Request.completion <- Sim.now t.sim;
-    let now = Sim.now t.sim in
-    match t.retry with
+    let now = Array.unsafe_get t.clk 0 in
+    Request.set_completion t.pool req now;
+    let rid = Request.id t.pool req in
+    (match t.retry with
     | None ->
         (* Per-connection ordering check (§4.3): the completed request must
            be the oldest outstanding one on its connection. *)
-        let q = t.outstanding.(req.Request.conn) in
-        (match Queue.take_opt q with
-        | Some id when id = req.Request.id -> ()
-        | Some _ | None ->
-            t.order_violations <- t.order_violations + 1;
-            (* Drop the stale entry for this id so the queue does not grow. *)
-            let keep = Queue.create () in
-            Queue.iter (fun id -> if id <> req.Request.id then Queue.add id keep) q;
-            Queue.clear q;
-            Queue.transfer keep q);
-        record_completion t ~now ~measured:req.Request.measured ~lat:(Request.latency req)
+        let q = t.outstanding.(Request.conn t.pool req) in
+        let popped = Engine.Intq.pop q in
+        if popped <> rid then begin
+          t.order_violations <- t.order_violations + 1;
+          (* Drop the stale entry for this id so the queue does not grow.
+             (Matches the historical repair: the mismatched head stays
+             dropped, later copies of [rid] are filtered out.) *)
+          Engine.Intq.remove_all q rid
+        end;
+        record_completion t ~now ~measured:(Request.measured t.pool req)
+          ~lat:(Request.latency t.pool req)
     | Some _ -> (
         let log_id =
-          match Hashtbl.find_opt t.phys2log req.Request.id with
-          | Some l -> l
-          | None -> req.Request.id
+          match Hashtbl.find_opt t.phys2log rid with Some l -> l | None -> rid
         in
         match Hashtbl.find_opt t.pending log_id with
         | None -> ()  (* completed before [start] armed any state; ignore *)
@@ -327,7 +337,10 @@ let complete t (req : Request.t) =
               (* Client-observed latency spans from the first send, not the
                  retransmission that finally got through. *)
               record_completion t ~now ~measured:p.p_measured ~lat:(now -. p.p_first_arrival)
-            end)
+            end));
+    (* The client is the end of the line for a response: hand the slot
+       back. A no-op unless the pool recycles (clean fast path only). *)
+    Request.release t.pool req
   end
 
 let tally t = t.latencies

@@ -65,6 +65,7 @@ val backoff_nominal : retry -> attempt:int -> float
 val create :
   Engine.Sim.t ->
   rng:Engine.Rng.t ->
+  pool:Request.pool ->
   conns:int ->
   rate:float ->
   service:Engine.Dist.t ->
@@ -76,7 +77,9 @@ val create :
   t
 (** [rate] is in requests per µs (e.g. 1.0 = 1 MRPS). The target server is
     attached afterwards with {!set_target}. [selection] defaults to
-    [Uniform].
+    [Uniform]. [pool] is the request arena handles are drawn from; the
+    generator releases each handle at its first completion (a no-op
+    unless the pool recycles).
 
     [service_fn], when given, overrides [service]: it is invoked once per
     generated request to produce its service demand (µs). This is how real

@@ -1,22 +1,140 @@
-type t = {
-  id : int;
-  conn : int;
-  arrival : float;
-  service : float;
-  measured : bool;
-  mutable started : float;
-  mutable completion : float;
+(* SoA request arena with generation-checked int handles.
+
+   Same discipline as the engine event pool (lib/engine/sim.ml): a
+   handle packs (generation lsl slot_bits) lor slot; the generation in
+   the handle must match the slot's current generation or the access
+   raises. Field arrays are parallel: float fields live in flat float
+   arrays (unboxed), int/bool fields in int arrays, so the per-request
+   working set is a handful of adjacent array cells instead of a
+   scattered 8-word heap record per message. *)
+
+type t = int
+
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+let none = -1
+
+type pool = {
+  recycle : bool;
+  mutable ids : int array;
+  mutable conns : int array;
+  mutable arrivals : float array;
+  mutable services : float array;
+  mutable starteds : float array;
+  mutable completions : float array;
+  mutable measureds : int array; (* 0/1; int to share the grow path idiom *)
+  mutable gens : int array;
+  mutable free : int array; (* stack of recycled slots *)
+  mutable free_n : int;
+  mutable next_slot : int; (* high-water mark: slots [0, next_slot) initialised *)
+  mutable live_count : int;
+  mutable alloc_count : int;
 }
 
-let make ~id ~conn ~arrival ~service ~measured =
-  { id; conn; arrival; service; measured; started = -1.; completion = -1. }
+let create_pool ?(recycle = false) ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Request.create_pool: capacity < 1";
+  {
+    recycle;
+    ids = Array.make capacity 0;
+    conns = Array.make capacity 0;
+    arrivals = Array.make capacity 0.;
+    services = Array.make capacity 0.;
+    starteds = Array.make capacity (-1.);
+    completions = Array.make capacity (-1.);
+    measureds = Array.make capacity 0;
+    gens = Array.make capacity 0;
+    free = Array.make capacity 0;
+    free_n = 0;
+    next_slot = 0;
+    live_count = 0;
+    alloc_count = 0;
+  }
 
-let is_completed t = t.completion >= 0.
+let grow p =
+  let cap = Array.length p.ids in
+  let ncap = 2 * cap in
+  let extend a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  let extendf a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  p.ids <- extend p.ids 0;
+  p.conns <- extend p.conns 0;
+  p.arrivals <- extendf p.arrivals 0.;
+  p.services <- extendf p.services 0.;
+  p.starteds <- extendf p.starteds (-1.);
+  p.completions <- extendf p.completions (-1.);
+  p.measureds <- extend p.measureds 0;
+  p.gens <- extend p.gens 0;
+  p.free <- extend p.free 0
 
-let latency t =
-  if not (is_completed t) then invalid_arg "Request.latency: not completed";
-  t.completion -. t.arrival
+let[@zygos.hot] slot_of p (h : t) =
+  let slot = h land slot_mask in
+  if h < 0 || slot >= p.next_slot || Array.unsafe_get p.gens slot <> h lsr slot_bits
+  then invalid_arg "Request: stale or invalid handle";
+  slot
 
-let pp ppf t =
-  Format.fprintf ppf "req#%d conn=%d arrival=%.3f service=%.3f completion=%.3f" t.id t.conn
-    t.arrival t.service t.completion
+let[@zygos.hot] alloc p ~id ~conn ~arrival ~service ~measured =
+  let slot =
+    if p.free_n > 0 then begin
+      p.free_n <- p.free_n - 1;
+      Array.unsafe_get p.free p.free_n
+    end
+    else begin
+      if p.next_slot = Array.length p.ids then grow p;
+      let s = p.next_slot in
+      p.next_slot <- s + 1;
+      s
+    end
+  in
+  Array.unsafe_set p.ids slot id;
+  Array.unsafe_set p.conns slot conn;
+  Array.unsafe_set p.arrivals slot arrival;
+  Array.unsafe_set p.services slot service;
+  Array.unsafe_set p.measureds slot (if measured then 1 else 0);
+  Array.unsafe_set p.starteds slot (-1.);
+  Array.unsafe_set p.completions slot (-1.);
+  p.live_count <- p.live_count + 1;
+  p.alloc_count <- p.alloc_count + 1;
+  (Array.unsafe_get p.gens slot lsl slot_bits) lor slot
+
+let[@zygos.hot] release p h =
+  let slot = slot_of p h in
+  if p.recycle then begin
+    Array.unsafe_set p.gens slot (Array.unsafe_get p.gens slot + 1);
+    if p.free_n = Array.length p.free then grow p;
+    Array.unsafe_set p.free p.free_n slot;
+    p.free_n <- p.free_n + 1
+  end;
+  p.live_count <- p.live_count - 1
+
+let[@zygos.hot] id p h = Array.unsafe_get p.ids (slot_of p h)
+let[@zygos.hot] conn p h = Array.unsafe_get p.conns (slot_of p h)
+let[@zygos.hot] arrival p h = Array.unsafe_get p.arrivals (slot_of p h)
+let[@zygos.hot] service p h = Array.unsafe_get p.services (slot_of p h)
+let[@zygos.hot] measured p h = Array.unsafe_get p.measureds (slot_of p h) = 1
+let[@zygos.hot] started p h = Array.unsafe_get p.starteds (slot_of p h)
+let[@zygos.hot] set_started p h v = Array.unsafe_set p.starteds (slot_of p h) v
+let[@zygos.hot] completion p h = Array.unsafe_get p.completions (slot_of p h)
+let[@zygos.hot] set_completion p h v = Array.unsafe_set p.completions (slot_of p h) v
+let[@zygos.hot] is_completed p h = Array.unsafe_get p.completions (slot_of p h) >= 0.
+
+let[@zygos.hot] latency p h =
+  let slot = slot_of p h in
+  let c = Array.unsafe_get p.completions slot in
+  if c < 0. then invalid_arg "Request.latency: not completed";
+  c -. Array.unsafe_get p.arrivals slot
+
+let pp p ppf h =
+  let slot = slot_of p h in
+  Format.fprintf ppf "req#%d conn=%d arrival=%.3f service=%.3f completion=%.3f" p.ids.(slot)
+    p.conns.(slot) p.arrivals.(slot) p.services.(slot) p.completions.(slot)
+
+let live p = p.live_count
+let allocated p = p.alloc_count
+let hwm p = p.next_slot

@@ -3,23 +3,88 @@
     Requests are created by the load generator ({!Loadgen}), carried through
     a simulated server system (lib/systems), and completed when the response
     is written back "on the wire". Latency is measured client-side as
-    [completion - arrival], exactly as the paper measures with mutilate. *)
+    [completion - arrival], exactly as the paper measures with mutilate.
 
-type t = {
-  id : int;  (** unique, increasing in arrival order *)
-  conn : int;  (** connection carrying this RPC *)
-  arrival : float;  (** sim time the request hits the server NIC (µs) *)
-  service : float;  (** application service demand (µs) *)
-  measured : bool;  (** inside the measurement window (not warmup/drain)? *)
-  mutable started : float;  (** sim time application execution began *)
-  mutable completion : float;  (** sim time the response was sent; -1 if pending *)
-}
+    A request is an {e immediate int handle} into a per-experiment arena
+    ({!pool}): all per-request state lives in parallel SoA arrays (flat
+    float arrays for times, int arrays for ids/conns), mirroring the
+    engine's event pool. Creating, touching, and completing a request
+    allocates nothing on the OCaml heap. Handles carry a generation
+    number; touching a handle whose slot was recycled raises, so
+    use-after-release is caught deterministically rather than corrupting
+    another request's state. *)
 
-val make : id:int -> conn:int -> arrival:float -> service:float -> measured:bool -> t
+type t = int
+(** Handle: [(generation lsl slot_bits) lor slot]. Immediate, so it can
+    ride in any int-payload channel (Sim.schedule_fn iargs, Sched event
+    queues, Intq rings) without boxing. *)
 
-val latency : t -> float
+type pool
+
+val none : t
+(** Sentinel "no request" handle ([-1]); never returned by {!alloc}. *)
+
+val create_pool : ?recycle:bool -> ?capacity:int -> unit -> pool
+(** [recycle] (default [false]) controls whether {!release} actually
+    returns slots for reuse. Paths that may touch a request after its
+    first completion (duplicate deliveries, hedged copies, failover)
+    must run with [recycle:false]: the pool then grows monotonically —
+    bounded by the total request count — and every handle stays valid
+    for the whole run. The clean fast path (no faults, no retries)
+    enables recycling and runs in O(outstanding) slots. *)
+
+val alloc :
+  pool -> id:int -> conn:int -> arrival:float -> service:float -> measured:bool -> t
+(** [id] is explicit (not pool-assigned) because cluster re-dispatch
+    creates fresh handles carrying the same logical request id. *)
+
+val release : pool -> t -> unit
+(** Return the slot for reuse (generation-bumped). No-op when the pool
+    was created with [recycle:false]. Raises on a stale handle. *)
+
+(** {2 Field access} — all raise [Invalid_argument] on a stale or
+    [none] handle. *)
+
+val id : pool -> t -> int
+(** Unique, increasing in arrival order (per load generator). *)
+
+val conn : pool -> t -> int
+(** Connection carrying this RPC. *)
+
+val arrival : pool -> t -> float
+(** Sim time the request hits the server NIC (µs). *)
+
+val service : pool -> t -> float
+(** Application service demand (µs). *)
+
+val measured : pool -> t -> bool
+(** Inside the measurement window (not warmup/drain)? *)
+
+val started : pool -> t -> float
+(** Sim time application execution began; -1 if not yet. *)
+
+val set_started : pool -> t -> float -> unit
+
+val completion : pool -> t -> float
+(** Sim time the response was sent; -1 if pending. *)
+
+val set_completion : pool -> t -> float -> unit
+
+val is_completed : pool -> t -> bool
+
+val latency : pool -> t -> float
 (** [completion - arrival]. Raises [Invalid_argument] if not completed. *)
 
-val is_completed : t -> bool
+val pp : pool -> Format.formatter -> t -> unit
 
-val pp : Format.formatter -> t -> unit
+(** {2 Introspection} (experiment info / perf guards) *)
+
+val live : pool -> int
+(** Handles allocated and not yet released. *)
+
+val allocated : pool -> int
+(** Total {!alloc} calls over the pool's lifetime. *)
+
+val hwm : pool -> int
+(** High-water mark of distinct slots ever in use — with recycling on,
+    [allocated / hwm] is the reuse ratio the perf guard checks. *)

@@ -16,7 +16,13 @@ val push : 'a t -> 'a -> bool
 
 val pop : 'a t -> 'a option
 
+val pop_or : 'a t -> default:'a -> 'a
+(** Like {!pop} but returns [default] when empty — no [Some] allocation;
+    the hot-path variant for immediate payloads (request handles). *)
+
 val peek : 'a t -> 'a option
+
+val peek_or : 'a t -> default:'a -> 'a
 
 val length : 'a t -> int
 

@@ -5,26 +5,72 @@ let default_key =
 
 let indirection_entries = 128
 
-type t = { key : string; table : int array }
+(* The 4-tuple input is fixed at 12 bytes (IPv4 src/dst ip + ports), so
+   the hash of an input is the XOR of 12 independent per-byte
+   contributions: contribution(position, value) depends only on the key.
+   [lut] tabulates all 12×256 of them once per [create]; hashing a tuple
+   is then 12 table loads and XORs instead of ~96 bit-serial 32-bit
+   window rebuilds. Entries are 32-bit values held in immediate ints. *)
+type t = {
+  table : int array;
+  nqueues : int;
+  lut : int array; (* 12*256; index = byte_pos*256 + byte_value *)
+  mutable memo : int array; (* conn -> indirection slot; -1 = not yet hashed *)
+}
+
+let tuple_bytes_len = 12
+
+(* Bit [i] of the key, MSB-first. *)
+let key_bit key i = Char.code key.[i / 8] lsr (7 - (i mod 8)) land 1
+
+(* Sliding 32-bit window of the key starting at bit [bit_pos], as an int. *)
+let key_window key bit_pos =
+  let w = ref 0 in
+  for i = 0 to 31 do
+    w := (!w lsl 1) lor key_bit key (bit_pos + i)
+  done;
+  !w
+
+let build_lut key =
+  let lut = Array.make (tuple_bytes_len * 256) 0 in
+  for bpos = 0 to tuple_bytes_len - 1 do
+    (* Contribution of each of the 8 bits of the byte at [bpos]. *)
+    let w0 = key_window key (8 * bpos) in
+    let w1 = key_window key ((8 * bpos) + 1) in
+    let w2 = key_window key ((8 * bpos) + 2) in
+    let w3 = key_window key ((8 * bpos) + 3) in
+    let w4 = key_window key ((8 * bpos) + 4) in
+    let w5 = key_window key ((8 * bpos) + 5) in
+    let w6 = key_window key ((8 * bpos) + 6) in
+    let w7 = key_window key ((8 * bpos) + 7) in
+    for v = 0 to 255 do
+      let h = ref 0 in
+      if v land 0x80 <> 0 then h := !h lxor w0;
+      if v land 0x40 <> 0 then h := !h lxor w1;
+      if v land 0x20 <> 0 then h := !h lxor w2;
+      if v land 0x10 <> 0 then h := !h lxor w3;
+      if v land 0x08 <> 0 then h := !h lxor w4;
+      if v land 0x04 <> 0 then h := !h lxor w5;
+      if v land 0x02 <> 0 then h := !h lxor w6;
+      if v land 0x01 <> 0 then h := !h lxor w7;
+      lut.((bpos * 256) + v) <- !h
+    done
+  done;
+  lut
 
 let create ?(key = default_key) ~queues () =
   if queues < 1 then invalid_arg "Rss.create: queues < 1";
   if String.length key < 16 then invalid_arg "Rss.create: key too short";
   let table = Array.init indirection_entries (fun i -> i mod queues) in
-  { key; table }
+  { table; nqueues = queues; lut = build_lut key; memo = Array.make 256 (-1) }
 
 let toeplitz ~key input =
   let hash = ref 0l in
   (* Sliding 32-bit window of the key, starting at its first 32 bits. *)
-  let key_bits i =
-    (* Bit [i] of the key, MSB-first. *)
-    let byte = Char.code key.[i / 8] in
-    byte lsr (7 - (i mod 8)) land 1
-  in
   let key_window_at bit_pos =
     let w = ref 0l in
     for i = 0 to 31 do
-      w := Int32.logor (Int32.shift_left !w 1) (Int32.of_int (key_bits (bit_pos + i)))
+      w := Int32.logor (Int32.shift_left !w 1) (Int32.of_int (key_bit key (bit_pos + i)))
     done;
     !w
   in
@@ -37,56 +83,84 @@ let toeplitz ~key input =
   done;
   !hash
 
-let tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port =
-  let b = Bytes.create 12 in
-  let put32 off v =
-    Bytes.set b off (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
-    Bytes.set b (off + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
-    Bytes.set b (off + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
-    Bytes.set b (off + 3) (Char.chr (Int32.to_int v land 0xff))
-  in
-  let put16 off v =
-    Bytes.set b off (Char.chr (v lsr 8 land 0xff));
-    Bytes.set b (off + 1) (Char.chr (v land 0xff))
-  in
-  put32 0 src_ip;
-  put32 4 dst_ip;
-  put16 8 src_port;
-  put16 10 dst_port;
-  b
+(* 12-tuple fast path: byte extraction straight from the tuple ints,
+   no Bytes scratch, 12 LUT loads + XORs. Bitwise-equal to
+   [toeplitz ~key (tuple_bytes ...)] (qcheck-enforced). Takes the ips
+   as plain 32-bit-ranged ints so the all-int callers below stay
+   box-free. *)
+let[@zygos.hot] hash12 t si di src_port dst_port =
+  let lut = t.lut in
+  let h = Array.unsafe_get lut (si lsr 24) in
+  let h = h lxor Array.unsafe_get lut (256 + (si lsr 16 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((2 * 256) + (si lsr 8 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((3 * 256) + (si land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((4 * 256) + (di lsr 24)) in
+  let h = h lxor Array.unsafe_get lut ((5 * 256) + (di lsr 16 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((6 * 256) + (di lsr 8 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((7 * 256) + (di land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((8 * 256) + (src_port lsr 8 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((9 * 256) + (src_port land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((10 * 256) + (dst_port lsr 8 land 0xff)) in
+  let h = h lxor Array.unsafe_get lut ((11 * 256) + (dst_port land 0xff)) in
+  h
 
-let queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
-  let h = toeplitz ~key:t.key (tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port) in
-  let idx = Int32.to_int (Int32.logand h 0x7fl) in
-  t.table.(idx)
+let hash_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
+  hash12 t
+    (Int32.to_int src_ip land 0xffffffff)
+    (Int32.to_int dst_ip land 0xffffffff)
+    src_port dst_port
 
-let conn_tuple c =
-  let src_ip =
-    Int32.logor 0x0A000000l (* 10.0.0.0 *)
-      (Int32.of_int (((c / 250) lsl 8) lor ((c mod 250) + 1)))
+let[@zygos.hot] queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
+  let h =
+    hash12 t
+      (Int32.to_int src_ip land 0xffffffff)
+      (Int32.to_int dst_ip land 0xffffffff)
+      src_port dst_port
   in
-  let src_port = 1024 + c in
-  (src_ip, 0x0A000001l, src_port, 8000)
+  Array.unsafe_get t.table (h land 0x7f)
 
-let queue_of_conn t c =
-  let src_ip, dst_ip, src_port, dst_port = conn_tuple c in
-  queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port
+let grow_memo t c =
+  let cap = Array.length t.memo in
+  let ncap =
+    let n = ref (2 * cap) in
+    while !n <= c do
+      n := 2 * !n
+    done;
+    !n
+  in
+  let memo = Array.make ncap (-1) in
+  Array.blit t.memo 0 memo 0 cap;
+  t.memo <- memo
+
+(* The conn→slot map is pure (remapping rewrites slot→queue, never the
+   hash), so it is memoised per connection: the steady-state lookup is
+   one array load. *)
+let[@zygos.hot] slot_of_conn t c =
+  if c < 0 then invalid_arg "Rss.slot_of_conn: negative conn";
+  if c >= Array.length t.memo then grow_memo t c;
+  let s = Array.unsafe_get t.memo c in
+  if s >= 0 then s
+  else begin
+    (* The synthetic 4-tuple documented at [queue_of_conn], in plain ints:
+       10.0.(c/250).(c mod 250 + 1) : 1024+c -> 10.0.0.1 : 8000. *)
+    let si = 0x0A000000 lor (((c / 250) lsl 8) lor ((c mod 250) + 1)) in
+    let s = hash12 t si 0x0A000001 (1024 + c) 8000 land 0x7f in
+    Array.unsafe_set t.memo c s;
+    s
+  end
+
+let[@zygos.hot] queue_of_conn t c = Array.unsafe_get t.table (slot_of_conn t c)
 
 let slots _t = indirection_entries
-
-let slot_of_conn t c =
-  let src_ip, dst_ip, src_port, dst_port = conn_tuple c in
-  let h = toeplitz ~key:t.key (tuple_bytes ~src_ip ~dst_ip ~src_port ~dst_port) in
-  Int32.to_int (Int32.logand h 0x7fl)
 
 let queue_of_slot t slot = t.table.(slot)
 
 let set_slot t ~slot ~queue =
   if slot < 0 || slot >= indirection_entries then invalid_arg "Rss.set_slot: slot out of range";
-  if queue < 0 then invalid_arg "Rss.set_slot: negative queue";
+  if queue < 0 || queue >= t.nqueues then invalid_arg "Rss.set_slot: queue out of range";
   t.table.(slot) <- queue
 
-let queues t = 1 + Array.fold_left max 0 t.table
+let queues t = t.nqueues
 
 let histogram_of_conns t n =
   let hist = Array.make (queues t) 0 in

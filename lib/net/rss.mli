@@ -21,8 +21,16 @@ val create : ?key:string -> queues:int -> unit -> t
 
 val toeplitz : key:string -> bytes -> int32
 (** The raw Toeplitz hash of an input byte string (used for the 12-byte
-    IPv4 4-tuple: src ip, dst ip, src port, dst port). Exposed for tests
-    against published test vectors. *)
+    IPv4 4-tuple: src ip, dst ip, src port, dst port). Bit-serial
+    reference implementation; exposed for tests against published test
+    vectors and as the oracle for the precomputed fast path. *)
+
+val hash_of_tuple : t -> src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> int
+(** The Toeplitz hash of a 4-tuple via the 12×256 per-byte lookup table
+    precomputed at {!create} (12 table XORs, no per-bit key-window
+    rebuilds). The 32-bit result is returned as a non-negative int;
+    bitwise-equal to {!toeplitz} over the same 12 bytes
+    (qcheck-enforced). *)
 
 val queue_of_tuple : t -> src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> int
 (** Hardware queue for a given 4-tuple. *)
@@ -44,8 +52,10 @@ val slots : t -> int
 (** Indirection table size (128, as on the paper's NICs). *)
 
 val slot_of_conn : t -> int -> int
-(** The table slot a connection hashes to (stable across remapping).
-    Cache this: it runs the Toeplitz hash. *)
+(** The table slot a connection hashes to (stable across remapping —
+    remapping rewrites slot→queue, never the hash). Memoised per
+    connection: the first call per conn hashes, the rest are one array
+    load. *)
 
 val queue_of_slot : t -> int -> int
 

@@ -2,64 +2,82 @@ module Sim = Engine.Sim
 module Request = Net.Request
 module Corefault = Core.Corefault
 
-type icore = { id : int; ring : Request.t Net.Ring.t; mutable busy : bool }
+type icore = {
+  id : int;
+  ring : Request.t Net.Ring.t;
+  mutable busy : bool;
+  batch : Request.t array;  (* scratch for the current iteration, capacity B *)
+  tbuf : float array;  (* 1-slot unboxed clock accumulator (tbuf idiom) *)
+}
 
 (* [route req] returns the core for a request; [note] observes the
    arrival (slot counters for the control plane). *)
-let make sim (p : Params.t) ~route ~note ~respond =
+let make sim (p : Params.t) ~pool ~route ~note ~respond =
   let p = Params.validate p in
   let faults = Params.corefaults p in
   let cores =
     Array.init p.cores (fun id ->
-        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false })
+        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false;
+          batch = Array.make p.ix_batch Request.none; tbuf = Array.make 1 0. })
   in
   (* Straggler-aware clock arithmetic: with no fault windows this is
      exactly [t +. work], so a fault-free run is bit-identical to the
      pre-fault implementation. *)
   let advance c t work = Corefault.completion_time faults ~core:c.id ~now:t ~work in
+  (* Take up to B packets into the core's scratch slice: "adaptive"
+     bounded batching processes whatever has accumulated, capped at B. *)
+  let rec take c n =
+    if n = p.ix_batch then n
+    else begin
+      let req = Net.Ring.pop_or c.ring ~default:Request.none in
+      if req = Request.none then n
+      else begin
+        Array.unsafe_set c.batch n req;
+        take c (n + 1)
+      end
+    end
+  [@@zygos.hot]
+  in
   let rec iteration c =
-    (* Take up to B packets: "adaptive" bounded batching processes whatever
-       has accumulated, capped at B. *)
-    let rec take acc n =
-      if n = 0 then List.rev acc
-      else
-        match Net.Ring.pop c.ring with
-        | None -> List.rev acc
-        | Some req -> take (req :: acc) (n - 1)
-    in
-    match take [] p.ix_batch with
-    | [] -> c.busy <- false
-    | batch ->
-        let k = List.length batch in
-        (* Strict run-to-completion bounded by B (§6.2): the whole batch
-           crosses the receive stack, every request executes, and the
-           responses leave together through the batched transmit/syscall
-           path — request 1's response waits for request k's execution,
-           which is exactly why large B hurts tail latency (Fig. 11). *)
-        let pkts = float_of_int p.rpc_packets in
-        let rx_done =
-          (* Two steps, preserving the original left-associated float sum
-             [now +. dp_loop +. k*rx] bit for bit. *)
-          let loop_done = advance c (Sim.now sim) p.dp_loop in
-          advance c loop_done (float_of_int k *. pkts *. p.dp_rx)
-        in
-        let exec_done =
-          List.fold_left
-            (fun t req ->
-              req.Request.started <- t;
-              advance c t req.Request.service)
-            rx_done batch
-        in
-        let finish_at =
-          List.fold_left
-            (fun t req ->
-              let sent = advance c t (pkts *. p.dp_tx) in
-              let _ : Sim.handle = Sim.schedule sim ~at:sent (fun () -> respond req) in
-              sent)
-            exec_done batch
-        in
-        let _ : Sim.handle = Sim.schedule_fn sim ~at:finish_at fn_iteration c.id in
-        ()
+    (let k = take c 0 in
+     if k = 0 then c.busy <- false
+     else begin
+       (* Strict run-to-completion bounded by B (§6.2): the whole batch
+          crosses the receive stack, every request executes, and the
+          responses leave together through the batched transmit/syscall
+          path — request 1's response waits for request k's execution,
+          which is exactly why large B hurts tail latency (Fig. 11). *)
+       let pkts = float_of_int p.rpc_packets in
+       let rx_done =
+         (* Two steps, preserving the original left-associated float sum
+            [now +. dp_loop +. k*rx] bit for bit. *)
+         let loop_done = advance c (Sim.now sim) p.dp_loop in
+         advance c loop_done (float_of_int k *. pkts *. p.dp_rx)
+       in
+       (* The running clock walks the batch through a 1-slot float array,
+          so neither loop boxes its accumulator. *)
+       Array.unsafe_set c.tbuf 0 rx_done;
+       for i = 0 to k - 1 do
+         let req = Array.unsafe_get c.batch i in
+         let t = Array.unsafe_get c.tbuf 0 in
+         Request.set_started pool req t;
+         Array.unsafe_set c.tbuf 0 (advance c t (Request.service pool req))
+       done;
+       for i = 0 to k - 1 do
+         let sent = advance c (Array.unsafe_get c.tbuf 0) (pkts *. p.dp_tx) in
+         let _ : Sim.handle =
+           (* [respond] is itself an [int -> unit] over the handle: the
+              long-lived dispatch fn, no per-response closure. *)
+           Sim.schedule_fn sim ~at:sent respond (Array.unsafe_get c.batch i)
+         in
+         Array.unsafe_set c.tbuf 0 sent
+       done;
+       let _ : Sim.handle =
+         Sim.schedule_fn sim ~at:(Array.unsafe_get c.tbuf 0) fn_iteration c.id
+       in
+       ()
+     end)
+  [@@zygos.hot]
   (* Closure-free dispatch: one long-lived fn, core id as the payload. *)
   and fn_iteration id = (iteration cores.(id)) [@@zygos.hot] in
   let[@zygos.hot] submit req =
@@ -80,20 +98,22 @@ let make sim (p : Params.t) ~route ~note ~respond =
   in
   { Iface.name = (if p.ix_batch = 1 then "ix" else Printf.sprintf "ix-b%d" p.ix_batch); submit; info }
 
-let create sim (p : Params.t) ~conns ~respond =
+let create sim (p : Params.t) ~pool ~conns ~respond =
   let rss = Net.Rss.create ~queues:p.cores () in
   let home = Array.init conns (fun c -> Net.Rss.queue_of_conn rss c) in
-  make sim p ~route:(fun req -> home.(req.Request.conn)) ~note:(fun _ -> ()) ~respond
+  make sim p ~pool
+    ~route:(fun [@zygos.hot] req -> home.(Request.conn pool req))
+    ~note:(fun _ -> ()) ~respond
 
-let create_with_rss sim (p : Params.t) ~rss ~conns ~respond =
+let create_with_rss sim (p : Params.t) ~pool ~rss ~conns ~respond =
   let slot = Array.init conns (fun c -> Net.Rss.slot_of_conn rss c) in
   let counts = Array.make (Net.Rss.slots rss) 0 in
-  let route req = Net.Rss.queue_of_slot rss slot.(req.Request.conn) in
+  let route req = Net.Rss.queue_of_slot rss slot.(Request.conn pool req) in
   let note req =
-    let s = slot.(req.Request.conn) in
+    let s = slot.(Request.conn pool req) in
     counts.(s) <- counts.(s) + 1
   in
-  let iface = make sim p ~route ~note ~respond in
+  let iface = make sim p ~pool ~route ~note ~respond in
   let read_and_reset () =
     let snapshot = Array.copy counts in
     Array.fill counts 0 (Array.length counts) 0;

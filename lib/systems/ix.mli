@@ -14,6 +14,7 @@
 val create :
   Engine.Sim.t ->
   Params.t ->
+  pool:Net.Request.pool ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->
   Iface.t
@@ -21,6 +22,7 @@ val create :
 val create_with_rss :
   Engine.Sim.t ->
   Params.t ->
+  pool:Net.Request.pool ->
   rss:Net.Rss.t ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->

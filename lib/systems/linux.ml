@@ -1,4 +1,5 @@
 module Sim = Engine.Sim
+module Intq = Engine.Intq
 module Request = Net.Request
 module Corefault = Core.Corefault
 
@@ -13,46 +14,44 @@ type pcore = {
   id : int;
   ring : Request.t Net.Ring.t;
   mutable busy : bool;
-  mutable cur : Request.t;  (* request executing on this core, else [no_req] *)
+  mutable cur : Request.t;  (* request executing on this core, else [Request.none] *)
 }
 
-(* Placeholder for [pcore.cur] when the core isn't executing; lets the
-   completion event carry only the core id (closure-free dispatch). *)
-let no_req = Request.make ~id:(-1) ~conn:0 ~arrival:0. ~service:0. ~measured:false
-
-let partitioned sim (p : Params.t) ~conns ~respond =
+let partitioned sim (p : Params.t) ~pool ~conns ~respond =
   let p = Params.validate p in
   let faults = Params.corefaults p in
   let rss = Net.Rss.create ~queues:p.cores () in
   let home = Array.init conns (fun c -> Net.Rss.queue_of_conn rss c) in
   let cores =
     Array.init p.cores (fun id ->
-        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false; cur = no_req })
+        { id; ring = Net.Ring.create ~capacity:p.ring_capacity; busy = false;
+          cur = Request.none })
   in
   let per_request_overhead = p.linux_epoll +. thread_overhead p in
   let rec run_next c =
-    (match Net.Ring.pop c.ring with
-     | None -> c.busy <- false
-     | Some req ->
-         req.Request.started <- Sim.now sim;
-         let work = per_request_overhead +. req.Request.service in
-         let done_at =
-           Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
-         in
-         c.cur <- req;
-         let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_done c.id in
-         ())
+    (let req = Net.Ring.pop_or c.ring ~default:Request.none in
+     if req = Request.none then c.busy <- false
+     else begin
+       Request.set_started pool req (Sim.now sim);
+       let work = per_request_overhead +. Request.service pool req in
+       let done_at =
+         Corefault.completion_time faults ~core:c.id ~now:(Sim.now sim) ~work
+       in
+       c.cur <- req;
+       let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_done c.id in
+       ()
+     end)
   [@@zygos.hot]
   and fn_done id =
     (let c = cores.(id) in
      let req = c.cur in
-     c.cur <- no_req;
+     c.cur <- Request.none;
      respond req;
      run_next c)
   [@@zygos.hot]
   and fn_wake id = (run_next cores.(id)) [@@zygos.hot] in
   let[@zygos.hot] submit req =
-    let c = cores.(home.(req.Request.conn)) in
+    let c = cores.(home.(Request.conn pool req)) in
     if Net.Ring.push c.ring req then
       if not c.busy then begin
         c.busy <- true;
@@ -85,18 +84,18 @@ let partitioned sim (p : Params.t) ~conns ~respond =
      cf. Figure 9's Linux curve). *)
 
 type fstate = {
-  dispatch_queue : Request.t Queue.t;  (* waiting for the pool hand-off *)
+  dispatch_queue : Intq.t;  (* waiting for the pool hand-off *)
   mutable dispatcher_busy : bool;
-  ready : Request.t Queue.t;  (* dispatched, waiting for a free thread *)
+  ready : Intq.t;  (* dispatched, waiting for a free thread *)
   conn_busy : bool array;
-  conn_pending : Request.t Queue.t array;
+  conn_pending : Intq.t array;
   mutable idle_threads : int;
   mutable backlog : int;  (* accepted, execution not yet started *)
   mutable drops : int;  (* refused: kernel backlog budget exhausted *)
   mutable next_thread : int;  (* round-robin core assignment of executions *)
 }
 
-let floating sim (p : Params.t) ~conns ~respond =
+let floating sim (p : Params.t) ~pool ~conns ~respond =
   let p = Params.validate p in
   let faults = Params.corefaults p in
   (* The kernel buffers bursts in per-socket receive queues, not a NIC
@@ -105,11 +104,11 @@ let floating sim (p : Params.t) ~conns ~respond =
   let backlog_capacity = p.ring_capacity * p.cores in
   let st =
     {
-      dispatch_queue = Queue.create ();
+      dispatch_queue = Intq.create ();
       dispatcher_busy = false;
-      ready = Queue.create ();
+      ready = Intq.create ();
       conn_busy = Array.make conns false;
-      conn_pending = Array.init conns (fun _ -> Queue.create ());
+      conn_pending = Array.init conns (fun _ -> Intq.create ());
       idle_threads = p.cores;
       backlog = 0;
       drops = 0;
@@ -120,57 +119,64 @@ let floating sim (p : Params.t) ~conns ~respond =
      its own epoll_wait in parallel (EPOLLEXCLUSIVE). *)
   let dispatch_cost = p.linux_lock in
   let rec start ~woken req =
-    st.backlog <- st.backlog - 1;
-    (* Threads are unpinned; model the antagonist by spreading executions
-       round-robin over the cores it may land on. *)
-    let core = st.next_thread in
-    st.next_thread <- (st.next_thread + 1) mod p.cores;
-    req.Request.started <- Sim.now sim;
-    let work =
-      (if woken then p.linux_wakeup else 0.)
-      +. p.linux_epoll +. thread_overhead p +. req.Request.service
-    in
-    let done_at = Corefault.completion_time faults ~core ~now:(Sim.now sim) ~work in
-    let _ : Sim.handle = Sim.schedule sim ~at:done_at (fun () -> finish req) in
-    ()
-  and finish req =
-    respond req;
-    (* Socket serialization: release it, or send its next queued request
-       back through the shared pool. *)
-    (match Queue.take_opt st.conn_pending.(req.Request.conn) with
-    | Some next -> enqueue_dispatch next
-    | None -> st.conn_busy.(req.Request.conn) <- false);
-    (* This thread immediately picks up the next dispatched event. *)
-    match Queue.take_opt st.ready with
-    | Some next -> start ~woken:false next
-    | None -> st.idle_threads <- st.idle_threads + 1
+    (st.backlog <- st.backlog - 1;
+     (* Threads are unpinned; model the antagonist by spreading executions
+        round-robin over the cores it may land on. *)
+     let core = st.next_thread in
+     st.next_thread <- (st.next_thread + 1) mod p.cores;
+     Request.set_started pool req (Sim.now sim);
+     let work =
+       (if woken then p.linux_wakeup else 0.)
+       +. p.linux_epoll +. thread_overhead p +. Request.service pool req
+     in
+     let done_at = Corefault.completion_time faults ~core ~now:(Sim.now sim) ~work in
+     let _ : Sim.handle = Sim.schedule_fn sim ~at:done_at fn_finish req in
+     ())
+  [@@zygos.hot]
+  and fn_finish req =
+    (* The handle dies at [respond] (the client may recycle its slot), so
+       the connection is read out first. *)
+    (let conn = Request.conn pool req in
+     respond req;
+     (* Socket serialization: release it, or send its next queued request
+        back through the shared pool. *)
+     (if Intq.is_empty st.conn_pending.(conn) then st.conn_busy.(conn) <- false
+      else enqueue_dispatch (Intq.pop st.conn_pending.(conn)));
+     (* This thread immediately picks up the next dispatched event. *)
+     if Intq.is_empty st.ready then st.idle_threads <- st.idle_threads + 1
+     else start ~woken:false (Intq.pop st.ready))
+  [@@zygos.hot]
   and enqueue_dispatch req =
-    Queue.add req st.dispatch_queue;
-    pump_dispatcher ()
+    (Intq.push st.dispatch_queue req;
+     pump_dispatcher ())
+  [@@zygos.hot]
   and pump_dispatcher () =
-    if not st.dispatcher_busy then
-      match Queue.take_opt st.dispatch_queue with
-      | None -> ()
-      | Some req ->
-          st.dispatcher_busy <- true;
-          let _ : Sim.handle =
-            Sim.schedule_after sim ~delay:dispatch_cost (fun () ->
-                st.dispatcher_busy <- false;
-                (if st.idle_threads > 0 then begin
-                   st.idle_threads <- st.idle_threads - 1;
-                   start ~woken:true req
-                 end
-                 else Queue.add req st.ready);
-                pump_dispatcher ())
-          in
-          ()
+    (if not st.dispatcher_busy then
+       if not (Intq.is_empty st.dispatch_queue) then begin
+         let req = Intq.pop st.dispatch_queue in
+         st.dispatcher_busy <- true;
+         let _ : Sim.handle =
+           Sim.schedule_fn_after sim ~delay:dispatch_cost fn_dispatched req
+         in
+         ()
+       end)
+  [@@zygos.hot]
+  and fn_dispatched req =
+    (st.dispatcher_busy <- false;
+     (if st.idle_threads > 0 then begin
+        st.idle_threads <- st.idle_threads - 1;
+        start ~woken:true req
+      end
+      else Intq.push st.ready req);
+     pump_dispatcher ())
+  [@@zygos.hot]
   in
-  let submit req =
+  let[@zygos.hot] submit req =
     if st.backlog >= backlog_capacity then st.drops <- st.drops + 1
     else begin
       st.backlog <- st.backlog + 1;
-      let conn = req.Request.conn in
-      if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
+      let conn = Request.conn pool req in
+      if st.conn_busy.(conn) then Intq.push st.conn_pending.(conn) req
       else begin
         st.conn_busy.(conn) <- true;
         enqueue_dispatch req
@@ -179,7 +185,7 @@ let floating sim (p : Params.t) ~conns ~respond =
   in
   let info () =
     [
-      ("backlog", float_of_int (Queue.length st.ready + Queue.length st.dispatch_queue));
+      ("backlog", float_of_int (Intq.length st.ready + Intq.length st.dispatch_queue));
       ("ring_drops", float_of_int st.drops);
     ]
   in

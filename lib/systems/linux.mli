@@ -19,6 +19,7 @@
 val partitioned :
   Engine.Sim.t ->
   Params.t ->
+  pool:Net.Request.pool ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->
   Iface.t
@@ -26,6 +27,7 @@ val partitioned :
 val floating :
   Engine.Sim.t ->
   Params.t ->
+  pool:Net.Request.pool ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->
   Iface.t

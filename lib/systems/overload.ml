@@ -11,6 +11,7 @@ let validate_policy = function
 
 type t = {
   sim : Sim.t;
+  pool : Request.pool;
   policy : policy;
   live : (int, unit) Hashtbl.t;  (* admitted request ids awaiting a response *)
   fifo : (int * float) Queue.t;  (* (id, admit time), stale entries skipped lazily *)
@@ -20,10 +21,11 @@ type t = {
   mutable peak : int;
 }
 
-let create sim ~policy () =
+let create sim ~pool ~policy () =
   validate_policy policy;
   {
     sim;
+    pool;
     policy;
     live = Hashtbl.create 1024;
     fifo = Queue.create ();
@@ -52,9 +54,10 @@ let over_limit t =
       | None -> false)
 
 let track t (req : Request.t) =
-  if not (Hashtbl.mem t.live req.Request.id) then begin
-    Hashtbl.replace t.live req.Request.id ();
-    Queue.add (req.Request.id, Sim.now t.sim) t.fifo;
+  let id = Request.id t.pool req in
+  if not (Hashtbl.mem t.live id) then begin
+    Hashtbl.replace t.live id ();
+    Queue.add (id, Sim.now t.sim) t.fifo;
     t.inflight <- t.inflight + 1;
     if t.inflight > t.peak then t.peak <- t.inflight
   end
@@ -68,8 +71,9 @@ let admit t (req : Request.t) ~forward =
   end
 
 let note_response t (req : Request.t) =
-  if Hashtbl.mem t.live req.Request.id then begin
-    Hashtbl.remove t.live req.Request.id;
+  let id = Request.id t.pool req in
+  if Hashtbl.mem t.live id then begin
+    Hashtbl.remove t.live id;
     t.inflight <- t.inflight - 1
   end
 

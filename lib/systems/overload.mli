@@ -31,7 +31,9 @@ val validate_policy : policy -> unit
 
 type t
 
-val create : Engine.Sim.t -> policy:policy -> unit -> t
+val create : Engine.Sim.t -> pool:Net.Request.pool -> policy:policy -> unit -> t
+(** The pool is consulted only to read request ids; the guard never
+    allocates or releases handles. *)
 
 val admit : t -> Net.Request.t -> forward:(Net.Request.t -> unit) -> unit
 (** Apply the policy: either [forward] the request into the server (and

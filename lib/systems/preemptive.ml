@@ -19,8 +19,7 @@ type job = {
 }
 
 (* Registry placeholder; also the content of freed registry slots. *)
-let no_req = Request.make ~id:(-1) ~conn:0 ~arrival:0. ~service:0. ~measured:false
-let no_job = { req = no_req; remaining = 0.; dispatched = true; slot = -1 }
+let no_job = { req = Request.none; remaining = 0.; dispatched = true; slot = -1 }
 
 type state = {
   runq : job Queue.t;  (* centralized, preemptible run queue *)
@@ -36,7 +35,7 @@ type state = {
   mutable windows : int;
 }
 
-let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate () =
+let create sim (p : Params.t) ~quantum ~switch_cost ~pool ~conns ~respond ?consolidate () =
   let p = Params.validate p in
   if quantum <= 0. then invalid_arg "Preemptive.create: quantum <= 0";
   if switch_cost < 0. then invalid_arg "Preemptive.create: switch_cost < 0";
@@ -104,8 +103,8 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
         p.dp_loop +. (pkts *. p.dp_rx)
       end
     in
-    if job.req.Request.started < 0. then
-      job.req.Request.started <- Sim.now sim +. setup;
+    if Request.started pool job.req < 0. then
+      Request.set_started pool job.req (Sim.now sim +. setup);
     st.busy_accum <- st.busy_accum +. setup +. slice;
     let _ : Sim.handle = Sim.schedule_fn_after sim ~delay:(setup +. slice) fn_slice_end job.slot in
     ()
@@ -128,15 +127,17 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
     (let job = !jobs.(s) in
      unregister_job job;
      st.completed <- st.completed + 1;
+     (* The handle dies at [respond] (the client may recycle its slot), so
+        the connection is read out first. *)
+     let conn = Request.conn pool job.req in
      respond job.req;
      (* Per-connection serialization (§4.3): promote the next queued
         request of this connection, if any. The promoted job record is a
         per-logical-request allocation, not a per-event one. *)
-     let conn = job.req.Request.conn in
      (match Queue.take_opt st.conn_pending.(conn) with
      | Some next ->
          let job =
-           ({ req = next; remaining = next.Request.service; dispatched = false; slot = -1 }
+           ({ req = next; remaining = Request.service pool next; dispatched = false; slot = -1 }
            [@zygos.allow "hot-alloc"])
          in
          register_job job;
@@ -166,11 +167,11 @@ let create sim (p : Params.t) ~quantum ~switch_cost ~conns ~respond ?consolidate
   [@@zygos.hot]
   and fn_first s = (run_slice ~resume_cost:0. !jobs.(s)) [@@zygos.hot] in
   let submit req =
-    let conn = req.Request.conn in
+    let conn = Request.conn pool req in
     if st.conn_busy.(conn) then Queue.add req st.conn_pending.(conn)
     else begin
       st.conn_busy.(conn) <- true;
-      let job = { req; remaining = req.Request.service; dispatched = false; slot = -1 } in
+      let job = { req; remaining = Request.service pool req; dispatched = false; slot = -1 } in
       register_job job;
       if st.idle_cores > 0 then begin
         st.idle_cores <- st.idle_cores - 1;

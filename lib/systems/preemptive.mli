@@ -38,6 +38,7 @@ val create :
   Params.t ->
   quantum:float ->
   switch_cost:float ->
+  pool:Net.Request.pool ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->
   ?consolidate:consolidation ->

@@ -24,14 +24,14 @@ let pp_trace_event ppf = function
       Format.fprintf ppf "core %d: tx %d remote responses for conn %d" home responses conn
 
 (* A remote batched-syscall entry: the responses of a stolen batch, to be
-   transmitted by (and ownership released at) the home core. *)
-type remote_batch = { pcb : Request.t Sched.pcb; reqs : Request.t list }
+   transmitted by (and ownership released at) the home core. The handles
+   are copied out of the thief's scheduler scratch into one flat array —
+   the only allocation a stolen batch costs. *)
+type remote_batch = { pcb : Request.t Sched.pcb; reqs : Request.t array }
 
 (* Sentinel for "no segment continuation armed"; compared with physical
-   equality, so real continuations (closures) are never misread as it.
-   Storing the continuation flat instead of as an option removes two
-   [Some] allocations per timed segment. *)
-let no_finish () = ()
+   equality, so real continuations are never misread as it. *)
+let fn_none (_ : int) = ()
 
 type zcore = {
   id : int;
@@ -40,21 +40,31 @@ type zcore = {
   policy : Core.Steal_policy.t;
   mutable mode : mode;
   mutable cur_handle : Sim.handle;  (* current timed segment; [Sim.no_handle] if none *)
-  mutable cur_finish : unit -> unit;  (* its continuation ([no_finish] if none) *)
-  mutable cur_done_at : float;
+  mutable cur_fn : int -> unit;  (* its completion fn ([fn_none] if none) *)
+  done_buf : float array;  (* 1 slot: current segment's completion time; a
+                              mutable float field of this mixed record would
+                              box on every store *)
   mutable ipi_pending : bool;  (* an IPI is in flight / unhandled for this core *)
   mutable wake_scheduled : bool;
   mutable ipis_received : int;
-  (* Continuations allocated once per core (closure-free steady state). *)
-  mutable k_step : unit -> unit;  (* [step t c] *)
-  mutable k_rx : unit -> unit;  (* deliver the [rx_pending] popped packets *)
   mutable rx_pending : int;  (* batch size of the in-flight rx segment *)
+  (* Cursor of the batch walk over the scheduler's claimed scratch; the
+     scratch stays valid for the whole batch because this core only
+     polls again after [end_of_batch]. *)
+  mutable b_idx : int;
+  mutable b_stolen : int;  (* victim core, or -1 for a local batch *)
+  rxbuf : Request.t array;  (* rx scratch, capacity zy_rx_batch *)
+  tbuf : float array;  (* 1-slot unboxed clock for remote-tx walks *)
 }
 
 type t = {
   sim : Sim.t;
+  clk : float array;  (* [Sim.clock_buffer sim]: inline now-reads on hot paths *)
+  kbuf : float array;  (* [Sim.key_buffer sim]: keyed schedules, no boxed [~at] *)
   p : Params.t;
+  pool : Request.pool;
   faults : Core.Corefault.t;  (* straggler schedule; [none] = exact nominal times *)
+  fault_free : bool;  (* [Corefault.is_none faults]: segments cost exactly [now +. cost] *)
   sched : Request.t Sched.t;
   pcbs : Request.t Sched.pcb array;
   zcores : zcore array;
@@ -65,7 +75,14 @@ type t = {
   mutable wc_violations : int;
   (* Long-lived dispatch fns for [Sim.schedule_fn]: bound once in
      [create], so the hot scheduling paths allocate no closures. *)
-  mutable fn_segment_done : int -> unit;  (* iarg = core id *)
+  (* Segment-completion fns, one per segment kind (iarg = core id): the
+     segment event dispatches straight into its continuation — one
+     indirect call per completion, not fn_segment_done + a stored
+     closure. Each fn re-arms nothing; it clears [cur_handle] first. *)
+  mutable fn_step : int -> unit;  (* resume the scheduler loop *)
+  mutable fn_rx_done : int -> unit;  (* deliver the [rx_pending] popped packets *)
+  mutable fn_user_done : int -> unit;  (* batch walk: user segment of event [b_idx] ended *)
+  mutable fn_tx_done : int -> unit;  (* batch walk: eager tx of event [b_idx] on the wire *)
   mutable fn_wake : int -> unit;  (* iarg = core id *)
   mutable fn_ipi : int -> unit;  (* iarg = destination core id *)
   mutable fn_ipi_rx : int -> unit;  (* iarg = (rx_count lsl 16) lor core id *)
@@ -83,24 +100,36 @@ type t = {
    overlapping a fault window. With no straggler schedule the arithmetic
    is exactly [now +. cost], preserving bit-identical fault-free runs. *)
 
-(* The completion event carries only the core id; the continuation lives
-   in [cur_finish], so scheduling a segment allocates nothing beyond the
-   continuation the caller already built. *)
+(* The completion event carries only the core id and dispatches directly
+   into the segment's completion fn; [cur_fn] only exists so
+   [extend_segment] can reschedule the same continuation. The completion
+   time lives in [done_buf] / [Sim.key_buffer] flat storage end to end:
+   [completion_time] is a real call with boxed float args, so the
+   fault-free steady state keeps the arithmetic inline and unboxed. *)
 let[@zygos.hot] start_segment t c ~mode ~cost ~finish =
   assert (c.cur_handle = Sim.no_handle);
   c.mode <- mode;
-  c.cur_finish <- finish;
-  c.cur_done_at <-
-    Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost;
-  c.cur_handle <- Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id
+  if c.cur_fn != finish then c.cur_fn <- finish;
+  let at =
+    if t.fault_free then Array.unsafe_get t.clk 0 +. cost
+    else Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost
+  in
+  Array.unsafe_set c.done_buf 0 at;
+  Array.unsafe_set t.kbuf 0 at;
+  c.cur_handle <- Sim.schedule_fn_keyed t.sim finish c.id
 
 let[@zygos.hot] extend_segment t c ~extra =
   assert (c.cur_handle <> Sim.no_handle);
-  assert (c.cur_finish != no_finish);
+  assert (c.cur_fn != fn_none);
   Sim.cancel t.sim c.cur_handle;
-  c.cur_done_at <-
-    Core.Corefault.completion_time t.faults ~core:c.id ~now:c.cur_done_at ~work:extra;
-  c.cur_handle <- Sim.schedule_fn t.sim ~at:c.cur_done_at t.fn_segment_done c.id
+  let prev = Array.unsafe_get c.done_buf 0 in
+  let at =
+    if t.fault_free then prev +. extra
+    else Core.Corefault.completion_time t.faults ~core:c.id ~now:prev ~work:extra
+  in
+  Array.unsafe_set c.done_buf 0 at;
+  Array.unsafe_set t.kbuf 0 at;
+  c.cur_handle <- Sim.schedule_fn_keyed t.sim c.cur_fn c.id
 
 let emit_trace t ev =
   match t.trace with Some f -> f (Sim.now t.sim) ev | None -> ()
@@ -114,7 +143,8 @@ let tracing t = Option.is_some t.trace
 let rec wake t c ~delay =
   (if c.mode = Midle && not c.wake_scheduled then begin
      c.wake_scheduled <- true;
-     let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay t.fn_wake c.id in
+     Array.unsafe_set t.kbuf 0 (Array.unsafe_get t.clk 0 +. delay);
+     let _ : Sim.handle = Sim.schedule_fn_keyed t.sim t.fn_wake c.id in
      ()
    end)
 [@@zygos.hot]
@@ -136,7 +166,8 @@ and send_ipi t ~src v =
      v.ipi_pending <- true;
      t.ipis_sent <- t.ipis_sent + 1;
      if tracing t then (emit_trace t (Ipi { src; dst = v.id }) [@zygos.allow "hot-alloc"]);
-     let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:t.p.zy_ipi_latency t.fn_ipi v.id in
+     Array.unsafe_set t.kbuf 0 (Array.unsafe_get t.clk 0 +. t.p.zy_ipi_latency);
+     let _ : Sim.handle = Sim.schedule_fn_keyed t.sim t.fn_ipi v.id in
      ()
    end)
 [@@zygos.hot]
@@ -164,57 +195,82 @@ and deliver_ipi t v =
       let batches = RQ.drain v.remote in
       let have_batches = match batches with [] -> false | _ :: _ -> true in
       if rx_count > 0 || have_batches then begin
-        let t0 = Sim.now t.sim +. t.p.zy_ipi_handler in
+        let t0 = Array.unsafe_get t.clk 0 +. t.p.zy_ipi_handler in
         let after_rx = t0 +. (float_of_int (rx_count * t.p.rpc_packets) *. t.p.dp_rx) in
         if rx_count > 0 then begin
           (* Pop the ring at the moment the handler's receive work
              completes — popping earlier and delivering later could let a
              second IPI's packets overtake these on the same connection.
              The event packs (rx_count, core id) into its int payload. *)
+          Array.unsafe_set t.kbuf 0 after_rx;
           let _ : Sim.handle =
-            Sim.schedule_fn t.sim ~at:after_rx t.fn_ipi_rx ((rx_count lsl 16) lor v.id)
+            Sim.schedule_fn_keyed t.sim t.fn_ipi_rx ((rx_count lsl 16) lor v.id)
           in
           ()
         end;
         let tx_end = transmit_batches t ~home:v.id ~from:after_rx batches in
-        extend_segment t v ~extra:(tx_end -. Sim.now t.sim)
+        extend_segment t v ~extra:(tx_end -. Array.unsafe_get t.clk 0)
       end
 
 (* ---- kernel helpers ---- *)
 
-and pop_hw t v ~limit =
-  ignore t;
-  let rec loop acc n =
-    if n = 0 then List.rev acc
-    else
-      match Net.Ring.pop v.hw with
-      | None -> List.rev acc
-      | Some req -> loop (req :: acc) (n - 1)
-  in
-  loop [] limit
+(* Pop up to [limit] packets into the core's rx scratch; returns the
+   count. The scratch is always consumed in the same event that fills
+   it ([k_rx] / [fn_ipi_rx]), so one buffer per core suffices. *)
+and pop_hw v ~limit = (pop_hw_loop v ~limit 0) [@@zygos.hot]
+
+and pop_hw_loop v ~limit n =
+  (if n = limit then n
+   else begin
+     let req = Net.Ring.pop_or v.hw ~default:Request.none in
+     if req = Request.none then n
+     else begin
+       Array.unsafe_set v.rxbuf n req;
+       pop_hw_loop v ~limit (n + 1)
+     end
+   end)
+[@@zygos.hot]
 
 (* Schedule the transmit work of remote batches starting at [from]; each
    response completes after its syscall + tx cost, and each batch's
    connection is released (Sched.complete) once its replies are on the
-   wire, per the §4.3 ownership rule. Returns the finish time. *)
+   wire, per the §4.3 ownership rule. Returns the finish time. The
+   running clock lives in the home core's 1-slot float scratch so the
+   walk boxes nothing; [t.respond] is itself the [int -> unit] dispatch
+   fn for each response event. *)
 and transmit_batches t ~home ~from batches =
-  List.fold_left
-    (fun clock { pcb; reqs } ->
-      if tracing t then
-        emit_trace t (Remote_tx { home; conn = Sched.conn pcb; responses = List.length reqs });
-      let clock =
-        List.fold_left
-          (fun clock req ->
-            let done_at =
-              clock +. t.p.zy_remote_syscall +. (float_of_int t.p.rpc_packets *. t.p.dp_tx)
-            in
-            let _ : Sim.handle = Sim.schedule t.sim ~at:done_at (fun () -> t.respond req) in
-            done_at)
-          clock reqs
-      in
-      let _ : Sim.handle = Sim.schedule_fn t.sim ~at:clock t.fn_remote_release (Sched.conn pcb) in
-      clock)
-    from batches
+  (let c = t.zcores.(home) in
+   Array.unsafe_set c.tbuf 0 from;
+   transmit_go t c ~home batches;
+   Array.unsafe_get c.tbuf 0)
+[@@zygos.hot]
+
+and transmit_go t c ~home batches =
+  (match batches with
+   | [] -> ()
+   | { pcb; reqs } :: rest ->
+       if tracing t then
+         (emit_trace t
+            (Remote_tx { home; conn = Sched.conn pcb; responses = Array.length reqs })
+         [@zygos.allow "hot-alloc"]);
+       for i = 0 to Array.length reqs - 1 do
+         let done_at =
+           Array.unsafe_get c.tbuf 0
+           +. t.p.zy_remote_syscall
+           +. (float_of_int t.p.rpc_packets *. t.p.dp_tx)
+         in
+         Array.unsafe_set t.kbuf 0 done_at;
+         let _ : Sim.handle =
+           Sim.schedule_fn_keyed t.sim t.respond (Array.unsafe_get reqs i)
+         in
+         Array.unsafe_set c.tbuf 0 done_at
+       done;
+       Array.unsafe_set t.kbuf 0 (Array.unsafe_get c.tbuf 0);
+       let _ : Sim.handle =
+         Sim.schedule_fn_keyed t.sim t.fn_remote_release (Sched.conn pcb)
+       in
+       transmit_go t c ~home rest)
+[@@zygos.hot]
 
 (* ---- the per-core scheduler loop ---- *)
 
@@ -228,8 +284,8 @@ and try_drain_remote t c =
   match RQ.drain c.remote with
   | [] -> false
   | batches ->
-      let finish_at = transmit_batches t ~home:c.id ~from:(Sim.now t.sim) batches in
-      start_segment t c ~mode:Mkernel ~cost:(finish_at -. Sim.now t.sim) ~finish:c.k_step;
+      let finish_at = transmit_batches t ~home:c.id ~from:(Array.unsafe_get t.clk 0) batches in
+      start_segment t c ~mode:Mkernel ~cost:(finish_at -. Array.unsafe_get t.clk 0) ~finish:t.fn_step;
       true
 
 and victim_order t c =
@@ -237,64 +293,74 @@ and victim_order t c =
   else Core.Steal_policy.round_robin_order c.policy
 
 and try_dispatch t c =
-  (* Own shuffle queue first, then steal in randomized victim order. *)
-  let order = victim_order t c in
-  match Sched.next t.sched ~core:c.id ~steal_order:order with
-  | None -> false
-  | Some (pcb, batch, source) ->
-      (match source with
-      | Sched.Local ->
-          if tracing t then
-            emit_trace t
-              (Dispatch_local { core = c.id; conn = Sched.conn pcb; events = List.length batch });
-          process_batch t c pcb batch ~stolen_from:None
-      | Sched.Stolen v ->
-          if tracing t then
-            emit_trace t
-              (Steal { thief = c.id; victim = v; conn = Sched.conn pcb; events = List.length batch });
-          process_batch t c pcb batch ~stolen_from:(Some v));
-      true
+  (* Own shuffle queue first, then steal in randomized victim order. The
+     claimed batch stays in the scheduler's per-core scratch — processed
+     in place as one array walk, no per-event list. *)
+  (let order = victim_order t c in
+   if not (Sched.poll t.sched ~core:c.id ~steal_order:order) then false
+   else begin
+     let stolen = Sched.batch_stolen_from t.sched ~core:c.id in
+     (if tracing t then begin
+        let pcb = Sched.batch_pcb t.sched ~core:c.id in
+        let n = Sched.batch_size t.sched ~core:c.id in
+        if stolen < 0 then
+          (emit_trace t (Dispatch_local { core = c.id; conn = Sched.conn pcb; events = n })
+          [@zygos.allow "hot-alloc"])
+        else
+          (emit_trace t
+             (Steal { thief = c.id; victim = stolen; conn = Sched.conn pcb; events = n })
+          [@zygos.allow "hot-alloc"])
+      end);
+     c.b_idx <- 0;
+     c.b_stolen <- stolen;
+     exec_next t c;
+     true
+   end)
+[@@zygos.hot]
 
-and process_batch t c pcb batch ~stolen_from =
-  (* Execute the batch's events one at a time, alternating user execution
-     and (for local work) eager kernel transmit — §6.2: "processes events
-     individually, interleaving between user and kernel code". *)
-  let first = ref true in
-  let rec exec completed = function
-    | [] -> end_of_batch t c pcb (List.rev completed) ~stolen_from
-    | req :: rest ->
-        let steal_cost = if !first && Option.is_some stolen_from then t.p.zy_steal else 0. in
-        first := false;
-        req.Request.started <- Sim.now t.sim;
-        let user_cost = steal_cost +. t.p.zy_shuffle +. req.Request.service in
-        start_segment t c ~mode:Muser ~cost:user_cost ~finish:(fun () ->
-            match stolen_from with
-            | None ->
-                (* Home core: transmit eagerly, in kernel mode. *)
-                start_segment t c ~mode:Mkernel
-                  ~cost:(float_of_int t.p.rpc_packets *. t.p.dp_tx) ~finish:(fun () ->
-                    t.respond req;
-                    exec (req :: completed) rest)
-            | Some _ -> exec (req :: completed) rest)
-  in
-  exec [] batch
+(* Execute the batch's events one at a time, alternating user execution
+   and (for local work) eager kernel transmit — §6.2: "processes events
+   individually, interleaving between user and kernel code". The walk is
+   a cursor ([b_idx]) over the scheduler scratch driven by the two
+   preallocated continuations [k_user_done]/[k_tx_done]; nothing is
+   allocated per event. *)
+and exec_next t c =
+  (if c.b_idx >= Sched.batch_size t.sched ~core:c.id then end_of_batch t c
+   else begin
+     let req = Sched.batch_event t.sched ~core:c.id c.b_idx in
+     let steal_cost = if c.b_idx = 0 && c.b_stolen >= 0 then t.p.zy_steal else 0. in
+     Request.set_started t.pool req (Array.unsafe_get t.clk 0);
+     let user_cost = steal_cost +. t.p.zy_shuffle +. Request.service t.pool req in
+     start_segment t c ~mode:Muser ~cost:user_cost ~finish:t.fn_user_done
+   end)
+[@@zygos.hot]
 
-and end_of_batch t c pcb completed ~stolen_from =
-  match stolen_from with
-  | None ->
-      Sched.complete t.sched pcb;
-      step t c
-  | Some v ->
-      (* Remote core: the batch's syscalls return to the home core (§4.2
-         step (b)); ownership is released there once transmitted. *)
-      let home = t.zcores.(v) in
-      RQ.push home.remote { pcb; reqs = completed };
-      t.remote_batches <- t.remote_batches + 1;
-      (match home.mode with
-      | Midle -> wake t home ~delay:0.
-      | Muser -> if t.p.zy_interrupts then send_ipi t ~src:c.id home
-      | Mkernel -> ());
-      step t c
+and end_of_batch t c =
+  (let pcb = Sched.batch_pcb t.sched ~core:c.id in
+   if c.b_stolen < 0 then begin
+     Sched.complete t.sched pcb;
+     step t c
+   end
+   else begin
+     (* Remote core: the batch's syscalls return to the home core (§4.2
+        step (b)); ownership is released there once transmitted. *)
+     let home = t.zcores.(c.b_stolen) in
+     let n = Sched.batch_size t.sched ~core:c.id in
+     (* One response array + one record per stolen batch: the scratch is
+        overwritten by the core's next poll, so the copy must outlive it. *)
+     let reqs =
+       (Array.init n (fun i -> Sched.batch_event t.sched ~core:c.id i)
+       [@zygos.allow "hot-alloc"])
+     in
+     RQ.push home.remote ({ pcb; reqs } [@zygos.allow "hot-alloc"]);
+     t.remote_batches <- t.remote_batches + 1;
+     (match home.mode with
+     | Midle -> wake t home ~delay:0.
+     | Muser -> if t.p.zy_interrupts then send_ipi t ~src:c.id home
+     | Mkernel -> ());
+     step t c
+   end)
+[@@zygos.hot]
 
 and try_rx t c =
   (if Net.Ring.is_empty c.hw then false
@@ -304,7 +370,7 @@ and try_rx t c =
      (* A core runs one rx segment at a time, so parking the batch size on
         the core (for the preallocated [k_rx] continuation) is safe. *)
      c.rx_pending <- k;
-     start_segment t c ~mode:Mkernel ~cost ~finish:c.k_rx;
+     start_segment t c ~mode:Mkernel ~cost ~finish:t.fn_rx_done;
      true
    end)
 [@@zygos.hot]
@@ -338,16 +404,15 @@ and scan_and_ipi t c =
    done)
 [@@zygos.hot]
 
-(* Deliver a popped rx batch to the scheduler, request by request; a
-   top-level rec loop instead of [List.iter (fun req -> ...)], which
-   would allocate the closure per rx event. *)
-let rec deliver_batch t = function
-  | [] -> ()
-  | req :: rest ->
-      Sched.deliver t.sched t.pcbs.(req.Request.conn) req;
-      deliver_batch t rest
+(* Deliver the first [n] requests of a core's rx scratch to the
+   scheduler: one flat array walk, request by request in arrival order. *)
+let[@zygos.hot] deliver_batch t v n =
+  for i = 0 to n - 1 do
+    let req = Array.unsafe_get v.rxbuf i in
+    Sched.deliver t.sched t.pcbs.(Request.conn t.pool req) req
+  done
 
-let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
+let create sim (p : Params.t) ~rng ~pool ~conns ~respond ?trace () =
   let p = Params.validate p in
   let rss = Net.Rss.create ~queues:p.cores () in
   let sched = Sched.create ~cores:p.cores in
@@ -363,21 +428,27 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
           policy = Core.Steal_policy.create ~rng:(Engine.Rng.split rng) ~cores:p.cores ~self:id;
           mode = Midle;
           cur_handle = Sim.no_handle;
-          cur_finish = no_finish;
-          cur_done_at = 0.;
+          cur_fn = fn_none;
+          done_buf = Array.make 1 0.;
           ipi_pending = false;
           wake_scheduled = false;
           ipis_received = 0;
-          k_step = ignore;
-          k_rx = ignore;
           rx_pending = 0;
+          b_idx = 0;
+          b_stolen = -1;
+          rxbuf = Array.make p.zy_rx_batch Request.none;
+          tbuf = Array.make 1 0.;
         })
   in
   let t =
     {
       sim;
+      clk = Sim.clock_buffer sim;
+      kbuf = Sim.key_buffer sim;
       p;
+      pool;
       faults = Params.corefaults p;
+      fault_free = Core.Corefault.is_none (Params.corefaults p);
       sched;
       pcbs;
       zcores;
@@ -386,7 +457,10 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
       ipis_sent = 0;
       remote_batches = 0;
       wc_violations = 0;
-      fn_segment_done = ignore;
+      fn_step = ignore;
+      fn_rx_done = ignore;
+      fn_user_done = ignore;
+      fn_tx_done = ignore;
       fn_wake = ignore;
       fn_ipi = ignore;
       fn_ipi_rx = ignore;
@@ -395,16 +469,11 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
   in
   (* Bind the long-lived dispatch fns and per-core continuations now that
      [t] exists; every event scheduled below reaches back through these. *)
-  t.fn_segment_done <-
+  t.fn_step <-
     (fun id ->
       let c = t.zcores.(id) in
       c.cur_handle <- Sim.no_handle;
-      let finish = c.cur_finish in
-      assert (finish != no_finish);
-      (* Scrub before running: the continuation may start a new segment,
-         and a retained closure would be a space leak. *)
-      c.cur_finish <- no_finish;
-      finish ()) [@zygos.hot];
+      step t c) [@zygos.hot];
   t.fn_wake <-
     (fun id ->
       let c = t.zcores.(id) in
@@ -415,31 +484,48 @@ let create sim (p : Params.t) ~rng ~conns ~respond ?trace () =
     (fun packed ->
       let v = t.zcores.(packed land 0xffff) in
       let rx_count = packed lsr 16 in
-      let rx_batch = pop_hw t v ~limit:rx_count in
+      let n = pop_hw v ~limit:rx_count in
       (if tracing t then
-         (emit_trace t (Rx { core = v.id; packets = List.length rx_batch })
-         [@zygos.allow "hot-alloc"]));
-      deliver_batch t rx_batch;
+         (emit_trace t (Rx { core = v.id; packets = n }) [@zygos.allow "hot-alloc"]));
+      deliver_batch t v n;
       wake_idlers t ~delay:t.p.zy_poll_delay) [@zygos.hot];
   t.fn_remote_release <-
     (fun conn ->
       Sched.complete t.sched t.pcbs.(conn);
       wake_idlers t ~delay:t.p.zy_poll_delay) [@zygos.hot];
-  Array.iter
-    (fun c ->
-      c.k_step <- (fun () -> step t c);
-      c.k_rx <-
-        (fun () ->
-          let batch = pop_hw t c ~limit:c.rx_pending in
-          (if tracing t then
-             (emit_trace t (Rx { core = c.id; packets = List.length batch })
-             [@zygos.allow "hot-alloc"]));
-          deliver_batch t batch;
-          wake_idlers t ~delay:t.p.zy_poll_delay;
-          step t c) [@zygos.hot])
-    t.zcores;
+  t.fn_rx_done <-
+    (fun id ->
+      let c = t.zcores.(id) in
+      c.cur_handle <- Sim.no_handle;
+      let n = pop_hw c ~limit:c.rx_pending in
+      (if tracing t then
+         (emit_trace t (Rx { core = c.id; packets = n }) [@zygos.allow "hot-alloc"]));
+      deliver_batch t c n;
+      wake_idlers t ~delay:t.p.zy_poll_delay;
+      step t c) [@zygos.hot];
+  t.fn_user_done <-
+    (fun id ->
+      let c = t.zcores.(id) in
+      c.cur_handle <- Sim.no_handle;
+      if c.b_stolen >= 0 then begin
+        c.b_idx <- c.b_idx + 1;
+        exec_next t c
+      end
+      else
+        (* Home core: transmit eagerly, in kernel mode. *)
+        start_segment t c ~mode:Mkernel
+          ~cost:(float_of_int t.p.rpc_packets *. t.p.dp_tx) ~finish:t.fn_tx_done)
+    [@zygos.hot];
+  t.fn_tx_done <-
+    (fun id ->
+      let c = t.zcores.(id) in
+      c.cur_handle <- Sim.no_handle;
+      let req = Sched.batch_event t.sched ~core:c.id c.b_idx in
+      c.b_idx <- c.b_idx + 1;
+      t.respond req;
+      exec_next t c) [@zygos.hot];
   let[@zygos.hot] submit req =
-    let c = t.zcores.(Sched.home t.pcbs.(req.Request.conn)) in
+    let c = t.zcores.(Sched.home t.pcbs.(Request.conn pool req)) in
     if Net.Ring.push c.hw req then begin
       match c.mode with
       | Midle -> wake t c ~delay:p.dp_loop

@@ -42,6 +42,7 @@ val create :
   Engine.Sim.t ->
   Params.t ->
   rng:Engine.Rng.t ->
+  pool:Net.Request.pool ->
   conns:int ->
   respond:(Net.Request.t -> unit) ->
   ?trace:(float -> trace_event -> unit) ->

@@ -225,7 +225,7 @@ let test_failplan_lowering () =
 
 (* A server that completes each request [delay] µs after submission (or
    never, when [delay] is infinite) and records its peak in-flight count. *)
-let fake_server sim ~delay ~respond =
+let fake_server sim ~pool ~delay ~respond =
   let inflight = ref 0 in
   let peak = ref 0 in
   let submit req =
@@ -235,7 +235,7 @@ let fake_server sim ~delay ~respond =
       let _ : Sim.handle =
         Sim.schedule_after sim ~delay (fun () ->
             decr inflight;
-            req.Request.completion <- Sim.now sim;
+            Request.set_completion pool req (Sim.now sim);
             respond req)
       in
       ()
@@ -243,7 +243,11 @@ let fake_server sim ~delay ~respond =
   let info () = [ ("fake_peak", float_of_int !peak) ] in
   (Systems.Iface.{ name = "fake"; submit; info }, peak)
 
-let mk_req id = Request.make ~id ~conn:id ~arrival:0. ~service:1. ~measured:true
+(* Racks never recycle: failover and hedge copies outlive the first
+   completion of a logical id. *)
+let mk_pool () = Request.create_pool ~recycle:false ()
+
+let mk_req pool id = Request.alloc pool ~id ~conn:id ~arrival:0. ~service:1. ~measured:true
 
 let test_jbsq_bound_invariant () =
   let sim = Sim.create () in
@@ -252,17 +256,18 @@ let test_jbsq_bound_invariant () =
   let bound = 2 in
   let peaks = Array.make 3 (ref 0) in
   let cfg = Rack.config ~servers:3 ~policy:(Policy.Jbsq bound) () in
+  let pool = mk_pool () in
   let rack =
-    Rack.create sim cfg ~rng
+    Rack.create sim cfg ~rng ~pool
       ~make_server:(fun ~i ~rng:_ ~respond ->
-        let iface, peak = fake_server sim ~delay:10. ~respond in
+        let iface, peak = fake_server sim ~pool ~delay:10. ~respond in
         peaks.(i) <- peak;
         iface)
       ~respond:(fun _ -> incr completed)
   in
   let iface = Rack.iface rack in
   for id = 1 to 50 do
-    iface.Systems.Iface.submit (mk_req id)
+    iface.Systems.Iface.submit (mk_req pool id)
   done;
   Alcotest.(check bool) "central FIFO holds the overflow" true (Rack.dispatch rack |> Dispatch.tor_depth > 0);
   Sim.run sim;
@@ -288,11 +293,12 @@ let test_failover_recovers_dead_server () =
       }
   in
   let cfg = Rack.config ~servers:2 ~policy:Policy.Static_hash ~detect () in
+  let pool = mk_pool () in
   let rack =
-    Rack.create sim cfg ~rng
+    Rack.create sim cfg ~rng ~pool
       ~make_server:(fun ~i ~rng:_ ~respond ->
         (* Server 0 is dead from the start; server 1 answers in 5µs. *)
-        fst (fake_server sim ~delay:(if i = 0 then infinity else 5.) ~respond))
+        fst (fake_server sim ~pool ~delay:(if i = 0 then infinity else 5.) ~respond))
       ~respond:(fun _ -> incr completed)
   in
   let iface = Rack.iface rack in
@@ -301,7 +307,7 @@ let test_failover_recovers_dead_server () =
     let _ : Sim.handle =
       Sim.schedule sim
         ~at:(float_of_int id *. 10.)
-        (fun () -> iface.Systems.Iface.submit (mk_req id))
+        (fun () -> iface.Systems.Iface.submit (mk_req pool id))
     in
     ()
   done;
@@ -327,16 +333,17 @@ let test_hedge_first_response_wins () =
   let rng = Rng.create ~seed:6 in
   let latencies = ref [] in
   let cfg = Rack.config ~servers:2 ~policy:Policy.Jsq ~hedge:50. () in
+  let pool = mk_pool () in
   let rack =
-    Rack.create sim cfg ~rng
+    Rack.create sim cfg ~rng ~pool
       ~make_server:(fun ~i ~rng:_ ~respond ->
         (* Server 0 is a straggler (500µs); server 1 answers in 5µs. JSQ
            ties break to index 0, so the primary goes to the straggler
            and the hedge must win. *)
-        fst (fake_server sim ~delay:(if i = 0 then 500. else 5.) ~respond))
-      ~respond:(fun req -> latencies := Request.latency req :: !latencies)
+        fst (fake_server sim ~pool ~delay:(if i = 0 then 500. else 5.) ~respond))
+      ~respond:(fun req -> latencies := Request.latency pool req :: !latencies)
   in
-  (Rack.iface rack).Systems.Iface.submit (mk_req 1);
+  (Rack.iface rack).Systems.Iface.submit (mk_req pool 1);
   Sim.run sim;
   (match !latencies with
   | [ l ] ->
@@ -355,14 +362,15 @@ let bare_samples () =
   let rng = Rng.create ~seed:4242 in
   let loadgen_rng = Rng.split rng in
   let system_rng = Rng.split rng in
+  let pool = mk_pool () in
   let gen =
-    Loadgen.create sim ~rng:loadgen_rng ~conns:64 ~rate:0.3 ~service:(Dist.exponential 10.)
-      ()
+    Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:64 ~rate:0.3
+      ~service:(Dist.exponential 10.) ()
   in
   let system =
     Systems.Zygos.create sim
       (Systems.Params.default ~cores:4 ())
-      ~rng:system_rng ~conns:64
+      ~rng:system_rng ~pool ~conns:64
       ~respond:(fun req -> Loadgen.complete gen req)
       ()
   in
@@ -375,17 +383,18 @@ let rack_samples ~policy =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:4242 in
   let loadgen_rng = Rng.split rng in
+  let pool = mk_pool () in
   let gen =
-    Loadgen.create sim ~rng:loadgen_rng ~conns:64 ~rate:0.3 ~service:(Dist.exponential 10.)
-      ()
+    Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:64 ~rate:0.3
+      ~service:(Dist.exponential 10.) ()
   in
   let cfg = Rack.config ~servers:1 ~policy () in
   let rack =
-    Rack.create sim cfg ~rng
+    Rack.create sim cfg ~rng ~pool
       ~make_server:(fun ~i:_ ~rng ~respond ->
         Systems.Zygos.create sim
           (Systems.Params.default ~cores:4 ())
-          ~rng ~conns:64 ~respond ())
+          ~rng ~pool ~conns:64 ~respond ())
       ~respond:(fun req -> Loadgen.complete gen req)
   in
   Loadgen.set_target gen (Rack.iface rack).Systems.Iface.submit;

@@ -111,13 +111,16 @@ let test_rss_odd_queue_counts () =
 let test_loadgen_conn_validation () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:22 in
+  let pool = Net.Request.create_pool () in
   Alcotest.check_raises "conns" (Invalid_argument "Loadgen.create: conns < 1") (fun () ->
       ignore
-        (Net.Loadgen.create sim ~rng ~conns:0 ~rate:1. ~service:(Dist.deterministic 1.) ()
+        (Net.Loadgen.create sim ~rng ~pool ~conns:0 ~rate:1.
+           ~service:(Dist.deterministic 1.) ()
           : Net.Loadgen.t));
   Alcotest.check_raises "rate" (Invalid_argument "Loadgen.create: rate <= 0") (fun () ->
       ignore
-        (Net.Loadgen.create sim ~rng ~conns:1 ~rate:0. ~service:(Dist.deterministic 1.) ()
+        (Net.Loadgen.create sim ~rng ~pool ~conns:1 ~rate:0.
+           ~service:(Dist.deterministic 1.) ()
           : Net.Loadgen.t))
 
 (* ---- silo ---- *)

@@ -51,7 +51,8 @@ let test_preemptive_ordering_and_args () =
   Alcotest.check_raises "quantum <= 0" (Invalid_argument "Preemptive.create: quantum <= 0")
     (fun () ->
       ignore
-        (Systems.Preemptive.create sim params ~quantum:0. ~switch_cost:0.1 ~conns:1
+        (Systems.Preemptive.create sim params ~quantum:0. ~switch_cost:0.1
+           ~pool:(Net.Request.create_pool ()) ~conns:1
            ~respond:(fun _ -> ())
            ()
           : Systems.Iface.t))
@@ -77,15 +78,17 @@ let test_rss_slot_reprogramming () =
 let test_hot_cold_selection () =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed:5 in
+  let pool = Net.Request.create_pool ~recycle:true () in
   let gen =
-    Net.Loadgen.create sim ~rng ~conns:100 ~rate:1.0 ~service:(Dist.deterministic 1.)
+    Net.Loadgen.create sim ~rng ~pool ~conns:100 ~rate:1.0
+      ~service:(Dist.deterministic 1.)
       ~selection:(Net.Loadgen.Hot_cold { hot_fraction = 0.1; hot_load = 0.6 })
       ()
   in
   let hot_hits = ref 0 and total = ref 0 in
   Net.Loadgen.set_target gen (fun req ->
       incr total;
-      if req.Net.Request.conn < 10 then incr hot_hits;
+      if Net.Request.conn pool req < 10 then incr hot_hits;
       Net.Loadgen.complete gen req);
   Net.Loadgen.start gen ~warmup:0. ~measure:20_000.;
   Engine.Sim.run sim;
@@ -101,7 +104,8 @@ let test_hot_cold_validation () =
   Alcotest.check_raises "bad fractions"
     (Invalid_argument "Loadgen.create: Hot_cold fractions must be in (0, 1)") (fun () ->
       ignore
-        (Net.Loadgen.create sim ~rng ~conns:10 ~rate:1.0 ~service:(Dist.deterministic 1.)
+        (Net.Loadgen.create sim ~rng ~pool:(Net.Request.create_pool ()) ~conns:10
+           ~rate:1.0 ~service:(Dist.deterministic 1.)
            ~selection:(Net.Loadgen.Hot_cold { hot_fraction = 1.5; hot_load = 0.5 })
            ()
           : Net.Loadgen.t))
@@ -149,12 +153,13 @@ let run_consolidated ~load =
   let rng = Engine.Rng.create ~seed:42 in
   let service = Dist.exponential 10. in
   let rate = load *. 16. /. 10. in
+  let pool = Net.Request.create_pool ~recycle:true () in
   let gen =
-    Net.Loadgen.create sim ~rng:(Engine.Rng.split rng) ~conns:512 ~rate ~service ()
+    Net.Loadgen.create sim ~rng:(Engine.Rng.split rng) ~pool ~conns:512 ~rate ~service ()
   in
   let system =
     Systems.Preemptive.create sim (Systems.Params.default ()) ~quantum:10. ~switch_cost:0.3
-      ~conns:512
+      ~pool ~conns:512
       ~respond:(fun req -> Net.Loadgen.complete gen req)
       ~consolidate:Systems.Preemptive.default_consolidation ()
   in

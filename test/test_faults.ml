@@ -243,13 +243,14 @@ let test_zero_plan_samples_bitwise () =
     let rng = Rng.create ~seed:4242 in
     let loadgen_rng = Rng.split rng in
     let system_rng = Rng.split rng in
+    let pool = Request.create_pool ~recycle:true () in
     let gen =
-      Loadgen.create sim ~rng:loadgen_rng ~conns:64 ~rate:0.3
+      Loadgen.create sim ~rng:loadgen_rng ~pool ~conns:64 ~rate:0.3
         ~service:(Dist.exponential 10.) ()
     in
     let params = Systems.Params.default ~cores:4 () in
     let system =
-      Systems.Zygos.create sim params ~rng:system_rng ~conns:64
+      Systems.Zygos.create sim params ~rng:system_rng ~pool ~conns:64
         ~respond:(fun req -> Loadgen.complete gen req)
         ()
     in
@@ -299,7 +300,9 @@ let test_retry_budget_exhaustion () =
   let max_retries = 3 in
   let retry = Loadgen.retry ~timeout:50. ~max_retries ~backoff_base:10. ~backoff_max:40. () in
   let gen =
-    Loadgen.create sim ~rng ~conns:4 ~rate:0.05 ~service:(Dist.deterministic 1.) ~retry ()
+    (* Retries keep handles alive past their timeouts: no recycling. *)
+    Loadgen.create sim ~rng ~pool:(Request.create_pool ()) ~conns:4 ~rate:0.05
+      ~service:(Dist.deterministic 1.) ~retry ()
   in
   let sent = ref 0 in
   Loadgen.set_target gen (fun _ -> incr sent);
@@ -319,13 +322,15 @@ let test_retry_recovers_loss () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:6 in
   let retry = Loadgen.retry ~timeout:30. ~max_retries:2 ~backoff_base:5. ~backoff_max:10. () in
+  let pool = Request.create_pool () in
   let gen =
-    Loadgen.create sim ~rng ~conns:4 ~rate:0.05 ~service:(Dist.deterministic 1.) ~retry ()
+    Loadgen.create sim ~rng ~pool ~conns:4 ~rate:0.05 ~service:(Dist.deterministic 1.)
+      ~retry ()
   in
   (* Retransmissions are marked [measured = false]; serving only those
      deterministically drops every first attempt. *)
   Loadgen.set_target gen (fun req ->
-      if not req.Request.measured then
+      if not (Request.measured pool req) then
         let _ : Sim.handle =
           Sim.schedule_after sim ~delay:1. (fun () -> Loadgen.complete gen req)
         in
@@ -346,7 +351,10 @@ let test_duplicate_responses_tolerated () =
   let rng = Rng.create ~seed:7 in
   let retry = Loadgen.retry ~timeout:500. () in
   let gen =
-    Loadgen.create sim ~rng ~conns:2 ~rate:0.05 ~service:(Dist.deterministic 1.) ~retry ()
+    (* recycle:false — the duplicate completion below re-presents the
+       handle after its first completion released it. *)
+    Loadgen.create sim ~rng ~pool:(Request.create_pool ()) ~conns:2 ~rate:0.05
+      ~service:(Dist.deterministic 1.) ~retry ()
   in
   Loadgen.set_target gen (fun req ->
       let _ : Sim.handle =
@@ -364,11 +372,13 @@ let test_duplicate_responses_tolerated () =
 
 (* ---- Overload policies ---- *)
 
-let mk_req id = Request.make ~id ~conn:0 ~arrival:0. ~service:1. ~measured:true
+let mk_req pool id = Request.alloc pool ~id ~conn:0 ~arrival:0. ~service:1. ~measured:true
 
 let test_queue_length_boundary () =
   let sim = Sim.create () in
-  let g = Overload.create sim ~policy:(Overload.Queue_length 2) () in
+  let pool = Request.create_pool () in
+  let mk_req = mk_req pool in
+  let g = Overload.create sim ~pool ~policy:(Overload.Queue_length 2) () in
   let forwarded = ref [] in
   let fwd req = forwarded := req :: !forwarded in
   let r1 = mk_req 1 and r2 = mk_req 2 and r3 = mk_req 3 in
@@ -388,7 +398,9 @@ let test_queue_length_boundary () =
 
 let test_sojourn_boundary () =
   let sim = Sim.create () in
-  let g = Overload.create sim ~policy:(Overload.Sojourn 10.) () in
+  let pool = Request.create_pool () in
+  let mk_req = mk_req pool in
+  let g = Overload.create sim ~pool ~policy:(Overload.Sojourn 10.) () in
   let forwarded = ref 0 in
   let fwd _ = incr forwarded in
   let r1 = mk_req 1 in
@@ -420,18 +432,19 @@ let test_sojourn_boundary () =
 (* ---- Ring drops summed across queues, all systems ---- *)
 
 let test_ring_drops_sum () =
-  let burst_into iface n =
+  let burst_into pool iface n =
     for i = 1 to n do
       iface.Systems.Iface.submit
-        (Request.make ~id:i ~conn:(i mod 8) ~arrival:0. ~service:1. ~measured:true)
+        (Request.alloc pool ~id:i ~conn:(i mod 8) ~arrival:0. ~service:1. ~measured:true)
     done
   in
   let check_system name make =
     let sim = Sim.create () in
+    let pool = Request.create_pool () in
     let completed = ref 0 in
-    let iface = make sim ~respond:(fun _ -> incr completed) in
+    let iface = make sim ~pool ~respond:(fun _ -> incr completed) in
     let n = 400 in
-    burst_into iface n;
+    burst_into pool iface n;
     Sim.run sim;
     let drops =
       match Systems.Iface.info_value iface "ring_drops" with
@@ -446,13 +459,14 @@ let test_ring_drops_sum () =
   let params =
     { (Systems.Params.default ~cores:2 ()) with ring_capacity = 4 }
   in
-  check_system "ix" (fun sim ~respond -> Systems.Ix.create sim params ~conns:8 ~respond);
-  check_system "linux-partitioned" (fun sim ~respond ->
-      Systems.Linux.partitioned sim params ~conns:8 ~respond);
-  check_system "linux-floating" (fun sim ~respond ->
-      Systems.Linux.floating sim params ~conns:8 ~respond);
-  check_system "zygos" (fun sim ~respond ->
-      Systems.Zygos.create sim params ~rng:(Rng.create ~seed:3) ~conns:8 ~respond ())
+  check_system "ix" (fun sim ~pool ~respond ->
+      Systems.Ix.create sim params ~pool ~conns:8 ~respond);
+  check_system "linux-partitioned" (fun sim ~pool ~respond ->
+      Systems.Linux.partitioned sim params ~pool ~conns:8 ~respond);
+  check_system "linux-floating" (fun sim ~pool ~respond ->
+      Systems.Linux.floating sim params ~pool ~conns:8 ~respond);
+  check_system "zygos" (fun sim ~pool ~respond ->
+      Systems.Zygos.create sim params ~rng:(Rng.create ~seed:3) ~pool ~conns:8 ~respond ())
 
 (* ---- Acceptance: straggler degradation, ZygOS < IX ---- *)
 

@@ -8,18 +8,20 @@ module Params = Systems.Params
 
 let make ?(batch = 1) ?(cores = 2) ~conns () =
   let sim = Sim.create () in
+  let pool = Request.create_pool () in
   let p = Params.with_ix_batch (Params.default ~cores ()) batch in
   let responses = ref [] in
   let iface =
-    Systems.Ix.create sim p ~conns ~respond:(fun req ->
+    Systems.Ix.create sim p ~pool ~conns ~respond:(fun req ->
         responses := (req, Sim.now sim) :: !responses)
   in
-  (sim, p, iface, responses)
+  (sim, p, pool, iface, responses)
 
-let mk ~id ~conn ~service = Request.make ~id ~conn ~arrival:0. ~service ~measured:true
+let mk pool ~id ~conn ~service =
+  Request.alloc pool ~id ~conn ~arrival:0. ~service ~measured:true
 
 let completion responses r =
-  match List.assq_opt r !responses with
+  match List.assoc_opt r !responses with
   | Some t -> t
   | None -> Alcotest.fail "request not completed"
 
@@ -34,8 +36,8 @@ let conns_on_core_0 ~cores ~n =
 
 let test_single_request_cost () =
   (* poll-notice + loop + rx + service + tx, exactly. *)
-  let sim, p, iface, responses = make ~conns:4 () in
-  let r = mk ~id:0 ~conn:0 ~service:10. in
+  let sim, p, pool, iface, responses = make ~conns:4 () in
+  let r = mk pool ~id:0 ~conn:0 ~service:10. in
   iface.Systems.Iface.submit r;
   Sim.run sim;
   let expected =
@@ -50,10 +52,10 @@ let test_run_to_completion_order () =
      service times — FCFS with no preemption and no stealing. *)
   match conns_on_core_0 ~cores:2 ~n:3 with
   | [ a; b; c ] ->
-      let sim, _, iface, responses = make ~conns:(c + 1) () in
-      let r1 = mk ~id:0 ~conn:a ~service:50. in
-      let r2 = mk ~id:1 ~conn:b ~service:1. in
-      let r3 = mk ~id:2 ~conn:c ~service:1. in
+      let sim, _, pool, iface, responses = make ~conns:(c + 1) () in
+      let r1 = mk pool ~id:0 ~conn:a ~service:50. in
+      let r2 = mk pool ~id:1 ~conn:b ~service:1. in
+      let r3 = mk pool ~id:2 ~conn:c ~service:1. in
       List.iter iface.Systems.Iface.submit [ r1; r2; r3 ];
       Sim.run sim;
       let t1 = completion responses r1
@@ -73,9 +75,9 @@ let test_no_stealing_across_cores () =
      helps: per-core completion sets are disjoint by home. *)
   match conns_on_core_0 ~cores:2 ~n:2 with
   | [ a; b ] ->
-      let sim, _, iface, responses = make ~conns:(b + 1) () in
-      let long_req = mk ~id:0 ~conn:a ~service:100. in
-      let short_req = mk ~id:1 ~conn:b ~service:1. in
+      let sim, _, pool, iface, responses = make ~conns:(b + 1) () in
+      let long_req = mk pool ~id:0 ~conn:a ~service:100. in
+      let short_req = mk pool ~id:1 ~conn:b ~service:1. in
       iface.Systems.Iface.submit long_req;
       iface.Systems.Iface.submit short_req;
       Sim.run sim;
@@ -90,9 +92,9 @@ let test_batched_tx_delays_first_response () =
   match conns_on_core_0 ~cores:2 ~n:2 with
   | [ a; b ] ->
       let run ~batch =
-        let sim, _, iface, responses = make ~batch ~conns:(b + 1) () in
-        let r1 = mk ~id:0 ~conn:a ~service:10. in
-        let r2 = mk ~id:1 ~conn:b ~service:10. in
+        let sim, _, pool, iface, responses = make ~batch ~conns:(b + 1) () in
+        let r1 = mk pool ~id:0 ~conn:a ~service:10. in
+        let r2 = mk pool ~id:1 ~conn:b ~service:10. in
         iface.Systems.Iface.submit r1;
         iface.Systems.Iface.submit r2;
         Sim.run sim;
@@ -113,10 +115,10 @@ let test_batch_amortizes_loop_cost () =
       ignore (a, d);
       let reqs_on_core0 = conns_on_core_0 ~cores:2 ~n:4 in
       let run ~batch =
-        let sim, _, iface, responses =
+        let sim, _, pool, iface, responses =
           make ~batch ~conns:(List.fold_left max 0 reqs_on_core0 + 1) ()
         in
-        let reqs = List.mapi (fun i c -> mk ~id:i ~conn:c ~service:2.) reqs_on_core0 in
+        let reqs = List.mapi (fun i c -> mk pool ~id:i ~conn:c ~service:2.) reqs_on_core0 in
         List.iter iface.Systems.Iface.submit reqs;
         Sim.run sim;
         List.fold_left (fun acc r -> Float.max acc (completion responses r)) 0. reqs
@@ -131,13 +133,14 @@ let test_rpc_packets_cost () =
   (* Multi-packet requests multiply rx and tx stack costs. *)
   let cost ~packets =
     let sim = Sim.create () in
+    let pool = Request.create_pool () in
     let p = Params.with_rpc_packets (Params.default ~cores:2 ()) packets in
     let responses = ref [] in
     let iface =
-      Systems.Ix.create sim p ~conns:4 ~respond:(fun req ->
+      Systems.Ix.create sim p ~pool ~conns:4 ~respond:(fun req ->
           responses := (req, Sim.now sim) :: !responses)
     in
-    let r = mk ~id:0 ~conn:0 ~service:10. in
+    let r = mk pool ~id:0 ~conn:0 ~service:10. in
     iface.Systems.Iface.submit r;
     Sim.run sim;
     completion responses r

@@ -84,6 +84,45 @@ let test_protocol_fragmented () =
   | [ Ok (Protocol.Set { key = "k"; data = "hello"; _ }) ] -> ()
   | _ -> Alcotest.fail "fragmented set not reassembled"
 
+let test_protocol_compact_bounded () =
+  (* 100k tiny commands through one parser: the consumed prefix must be
+     reclaimed continuously, so neither the pending bytes nor the backing
+     buffer may grow with the command count. *)
+  let p = Protocol.create_parser () in
+  let n = ref 0 in
+  for i = 0 to 99_999 do
+    Protocol.feed_iter p
+      (Printf.sprintf "get key%d\r\n" (i mod 1000))
+      (function Ok (Protocol.Get _) -> incr n | _ -> Alcotest.fail "bad parse");
+    if Protocol.pending_bytes p > 0 then Alcotest.fail "whole commands left pending"
+  done;
+  Alcotest.(check int) "all parsed" 100_000 !n;
+  Alcotest.(check bool)
+    (Printf.sprintf "capacity %d stays at the initial size" (Protocol.buffer_capacity p))
+    true
+    (Protocol.buffer_capacity p <= 256)
+
+let test_protocol_compact_straddling () =
+  (* Same bound when every command straddles a chunk boundary and the
+     parser must hold partial lines across feeds. *)
+  let p = Protocol.create_parser () in
+  let wire = Buffer.create 4096 in
+  for i = 0 to 9_999 do
+    Buffer.add_string wire (Printf.sprintf "set k%d 0 0 3\r\nabc\r\n" (i mod 100))
+  done;
+  let wire = Buffer.contents wire in
+  let n = ref 0 and i = ref 0 in
+  while !i < String.length wire do
+    let len = min 7 (String.length wire - !i) in
+    Protocol.feed_iter p (String.sub wire !i len) (function
+      | Ok (Protocol.Set _) -> incr n
+      | _ -> Alcotest.fail "bad parse");
+    i := !i + len
+  done;
+  Alcotest.(check int) "all parsed" 10_000 !n;
+  Alcotest.(check int) "nothing pending" 0 (Protocol.pending_bytes p);
+  Alcotest.(check bool) "capacity bounded" true (Protocol.buffer_capacity p <= 256)
+
 let test_protocol_errors () =
   let p = Protocol.create_parser () in
   (match Protocol.feed p "bogus command here\r\nget ok\r\n" with
@@ -217,6 +256,10 @@ let () =
           Alcotest.test_case "simple commands" `Quick test_protocol_simple_commands;
           Alcotest.test_case "fragmented" `Quick test_protocol_fragmented;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "compaction bounds the buffer" `Quick
+            test_protocol_compact_bounded;
+          Alcotest.test_case "compaction under straddling chunks" `Quick
+            test_protocol_compact_straddling;
           QCheck_alcotest.to_alcotest prop_protocol_roundtrip_chunked;
           Alcotest.test_case "execute/render" `Quick test_protocol_execute_and_render;
         ] );

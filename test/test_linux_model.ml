@@ -6,32 +6,35 @@ module Sim = Engine.Sim
 module Request = Net.Request
 module Params = Systems.Params
 
-let mk ~id ~conn ~service arrival = Request.make ~id ~conn ~arrival ~service ~measured:true
+let mk pool ~id ~conn ~service arrival =
+  Request.alloc pool ~id ~conn ~arrival ~service ~measured:true
 
 let completion responses r =
-  match List.assq_opt r !responses with
+  match List.assoc_opt r !responses with
   | Some t -> t
   | None -> Alcotest.fail "request not completed"
 
 let make_part ?(cores = 2) ~conns () =
   let sim = Sim.create () in
+  let pool = Request.create_pool () in
   let p = Params.default ~cores () in
   let responses = ref [] in
   let iface =
-    Systems.Linux.partitioned sim p ~conns ~respond:(fun req ->
+    Systems.Linux.partitioned sim p ~pool ~conns ~respond:(fun req ->
         responses := (req, Sim.now sim) :: !responses)
   in
-  (sim, p, iface, responses)
+  (sim, p, pool, iface, responses)
 
 let make_float ?(cores = 2) ~conns () =
   let sim = Sim.create () in
+  let pool = Request.create_pool () in
   let p = Params.default ~cores () in
   let responses = ref [] in
   let iface =
-    Systems.Linux.floating sim p ~conns ~respond:(fun req ->
+    Systems.Linux.floating sim p ~pool ~conns ~respond:(fun req ->
         responses := (req, Sim.now sim) :: !responses)
   in
-  (sim, p, iface, responses)
+  (sim, p, pool, iface, responses)
 
 let conns_on_core_0 ~cores ~n =
   let rss = Net.Rss.create ~queues:cores () in
@@ -43,8 +46,8 @@ let conns_on_core_0 ~cores ~n =
 
 let test_partitioned_request_cost () =
   (* wakeup + epoll + 2 syscalls + 2 stack crossings + service. *)
-  let sim, p, iface, responses = make_part ~conns:4 () in
-  let r = mk ~id:0 ~conn:0 ~service:10. 0. in
+  let sim, p, pool, iface, responses = make_part ~conns:4 () in
+  let r = mk pool ~id:0 ~conn:0 ~service:10. 0. in
   iface.Systems.Iface.submit r;
   Sim.run sim;
   let expected =
@@ -57,8 +60,8 @@ let test_partitioned_request_cost () =
 
 let test_floating_request_cost () =
   (* pool hand-off (lock) + wakeup + epoll + syscalls + stack + service. *)
-  let sim, p, iface, responses = make_float ~conns:4 () in
-  let r = mk ~id:0 ~conn:0 ~service:10. 0. in
+  let sim, p, pool, iface, responses = make_float ~conns:4 () in
+  let r = mk pool ~id:0 ~conn:0 ~service:10. 0. in
   iface.Systems.Iface.submit r;
   Sim.run sim;
   let expected =
@@ -75,9 +78,9 @@ let test_partitioned_no_rescue_floating_rescues () =
   match conns_on_core_0 ~cores:2 ~n:2 with
   | [ a; b ] ->
       let run make =
-        let sim, _, iface, responses = make ~conns:(b + 1) () in
-        let long_req = mk ~id:0 ~conn:a ~service:100. 0. in
-        let short_req = mk ~id:1 ~conn:b ~service:1. 0. in
+        let sim, _, pool, iface, responses = make ~conns:(b + 1) () in
+        let long_req = mk pool ~id:0 ~conn:a ~service:100. 0. in
+        let short_req = mk pool ~id:1 ~conn:b ~service:1. 0. in
         iface.Systems.Iface.submit long_req;
         iface.Systems.Iface.submit short_req;
         Sim.run sim;
@@ -95,9 +98,9 @@ let test_floating_socket_serialization () =
   (* Two requests on ONE connection never run concurrently even with idle
      threads: the second completes after the first (§4.3's problem, solved
      in the floating model by the locking protocol). *)
-  let sim, _, iface, responses = make_float ~cores:4 ~conns:2 () in
-  let r1 = mk ~id:0 ~conn:0 ~service:20. 0. in
-  let r2 = mk ~id:1 ~conn:0 ~service:1. 0. in
+  let sim, _, pool, iface, responses = make_float ~cores:4 ~conns:2 () in
+  let r1 = mk pool ~id:0 ~conn:0 ~service:20. 0. in
+  let r2 = mk pool ~id:1 ~conn:0 ~service:1. 0. in
   iface.Systems.Iface.submit r1;
   iface.Systems.Iface.submit r2;
   Sim.run sim;
@@ -112,13 +115,14 @@ let test_floating_dispatch_serializes () =
      idle cores still start at lock-interval spacing. *)
   let cores = 16 in
   let sim = Sim.create () in
+  let pool = Request.create_pool () in
   let p = Params.default ~cores () in
   let responses = ref [] in
   let iface =
-    Systems.Linux.floating sim p ~conns:cores ~respond:(fun req ->
+    Systems.Linux.floating sim p ~pool ~conns:cores ~respond:(fun req ->
         responses := (req, Sim.now sim) :: !responses)
   in
-  let reqs = List.init cores (fun i -> mk ~id:i ~conn:i ~service:5. 0.) in
+  let reqs = List.init cores (fun i -> mk pool ~id:i ~conn:i ~service:5. 0.) in
   List.iter iface.Systems.Iface.submit reqs;
   Sim.run sim;
   let times = List.map (fun r -> completion responses r) reqs in
@@ -132,9 +136,9 @@ let test_partitioned_batches_wakeup () =
   (* Requests queued behind the first one do not pay the wakeup again. *)
   match conns_on_core_0 ~cores:2 ~n:2 with
   | [ a; b ] ->
-      let sim, p, iface, responses = make_part ~conns:(b + 1) () in
-      let r1 = mk ~id:0 ~conn:a ~service:10. 0. in
-      let r2 = mk ~id:1 ~conn:b ~service:10. 0. in
+      let sim, p, pool, iface, responses = make_part ~conns:(b + 1) () in
+      let r1 = mk pool ~id:0 ~conn:a ~service:10. 0. in
+      let r2 = mk pool ~id:1 ~conn:b ~service:10. 0. in
       iface.Systems.Iface.submit r1;
       iface.Systems.Iface.submit r2;
       Sim.run sim;

@@ -65,6 +65,67 @@ let test_rss_bad_args () =
   Alcotest.check_raises "short key" (Invalid_argument "Rss.create: key too short") (fun () ->
       ignore (Rss.create ~key:"short" ~queues:4 () : Rss.t))
 
+(* The precomputed 12x256 lookup table must be bitwise-equal to the
+   bit-serial reference over random keys and random 4-tuples. *)
+let prop_rss_lut_matches_reference =
+  let gen_key = QCheck.Gen.(string_size ~gen:char (return 40)) in
+  let gen_case =
+    QCheck.Gen.(
+      map
+        (fun (key, (si, di, sp, dp)) -> (key, si, di, sp, dp))
+        (pair gen_key (quad ui64 ui64 (int_bound 0xffff) (int_bound 0xffff))))
+  in
+  let arb =
+    QCheck.make gen_case ~print:(fun (key, si, di, sp, dp) ->
+        Printf.sprintf "key=%S si=%Ld di=%Ld sp=%d dp=%d" key si di sp dp)
+  in
+  QCheck.Test.make ~name:"rss lut hash = bit-serial toeplitz" ~count:500 arb
+    (fun (key, si64, di64, src_port, dst_port) ->
+      let src_ip = Int64.to_int32 si64 and dst_ip = Int64.to_int32 di64 in
+      let rss = Rss.create ~key ~queues:16 () in
+      let fast = Rss.hash_of_tuple rss ~src_ip ~dst_ip ~src_port ~dst_port in
+      let b = Bytes.create 12 in
+      Bytes.set_int32_be b 0 src_ip;
+      Bytes.set_int32_be b 4 dst_ip;
+      Bytes.set_uint16_be b 8 src_port;
+      Bytes.set_uint16_be b 10 dst_port;
+      let slow = Int32.to_int (Rss.toeplitz ~key b) land 0xffffffff in
+      fast = slow)
+
+let test_rss_set_slot_bounds () =
+  let rss = Rss.create ~queues:4 () in
+  Alcotest.check_raises "slot out of range"
+    (Invalid_argument "Rss.set_slot: slot out of range") (fun () ->
+      Rss.set_slot rss ~slot:(Rss.slots rss) ~queue:0);
+  Alcotest.check_raises "negative slot"
+    (Invalid_argument "Rss.set_slot: slot out of range") (fun () ->
+      Rss.set_slot rss ~slot:(-1) ~queue:0);
+  Alcotest.check_raises "queue out of range"
+    (Invalid_argument "Rss.set_slot: queue out of range") (fun () ->
+      Rss.set_slot rss ~slot:0 ~queue:4)
+
+let test_rss_remap_mass_conservation () =
+  (* Reprogramming the indirection table moves connections between queues
+     but never loses one: the histogram mass is conserved, the remapped
+     slot's connections all follow it, and the per-connection slot memo
+     stays valid (slot_of_conn is remap-stable by contract). *)
+  let conns = 2752 in
+  let rss = Rss.create ~queues:16 () in
+  let slots_before = Array.init conns (fun c -> Rss.slot_of_conn rss c) in
+  let hist = Rss.histogram_of_conns rss conns in
+  Alcotest.(check int) "mass before" conns (Array.fold_left ( + ) 0 hist);
+  for s = 0 to Rss.slots rss - 1 do
+    if s mod 3 = 0 then Rss.set_slot rss ~slot:s ~queue:(s mod Rss.queues rss)
+  done;
+  let hist' = Rss.histogram_of_conns rss conns in
+  Alcotest.(check int) "mass after remap" conns (Array.fold_left ( + ) 0 hist');
+  for c = 0 to conns - 1 do
+    let s = Rss.slot_of_conn rss c in
+    if s <> slots_before.(c) then Alcotest.failf "conn %d changed slot under remap" c;
+    Alcotest.(check int) "queue follows table" (Rss.queue_of_slot rss s)
+      (Rss.queue_of_conn rss c)
+  done
+
 (* ---- Ring ---- *)
 
 let test_ring_fifo () =
@@ -108,20 +169,64 @@ let prop_ring_model =
 (* ---- Request ---- *)
 
 let test_request_lifecycle () =
-  let r = Request.make ~id:1 ~conn:2 ~arrival:10. ~service:5. ~measured:true in
-  Alcotest.(check bool) "not completed" false (Request.is_completed r);
+  let p = Request.create_pool () in
+  let r = Request.alloc p ~id:1 ~conn:2 ~arrival:10. ~service:5. ~measured:true in
+  Alcotest.(check int) "id" 1 (Request.id p r);
+  Alcotest.(check int) "conn" 2 (Request.conn p r);
+  Alcotest.(check bool) "not completed" false (Request.is_completed p r);
+  Alcotest.(check (float 1e-9)) "not started" (-1.) (Request.started p r);
   Alcotest.check_raises "latency before completion"
     (Invalid_argument "Request.latency: not completed") (fun () ->
-      ignore (Request.latency r : float));
-  r.Request.completion <- 25.;
-  Alcotest.(check (float 1e-9)) "latency" 15. (Request.latency r)
+      ignore (Request.latency p r : float));
+  Request.set_completion p r 25.;
+  Alcotest.(check (float 1e-9)) "latency" 15. (Request.latency p r)
+
+let test_request_pool_recycling () =
+  let p = Request.create_pool ~recycle:true ~capacity:2 () in
+  let r1 = Request.alloc p ~id:1 ~conn:0 ~arrival:0. ~service:1. ~measured:false in
+  let r2 = Request.alloc p ~id:2 ~conn:1 ~arrival:0. ~service:1. ~measured:false in
+  Alcotest.(check int) "live" 2 (Request.live p);
+  Request.release p r1;
+  Alcotest.(check int) "live after release" 1 (Request.live p);
+  (* The slot recycles under a fresh generation: the new handle works, the
+     stale one is detected. *)
+  let r3 = Request.alloc p ~id:3 ~conn:2 ~arrival:5. ~service:1. ~measured:true in
+  Alcotest.(check int) "slot reused" 2 (Request.hwm p);
+  Alcotest.(check int) "fresh handle reads fresh fields" 3 (Request.id p r3);
+  Alcotest.check_raises "stale handle caught"
+    (Invalid_argument "Request: stale or invalid handle") (fun () ->
+      ignore (Request.id p r1 : int));
+  Alcotest.(check int) "live handle unaffected" 2 (Request.id p r2);
+  (* Growth past the initial capacity preserves everything. *)
+  let more =
+    List.init 16 (fun i ->
+        Request.alloc p ~id:(100 + i) ~conn:i ~arrival:1. ~service:1. ~measured:false)
+  in
+  List.iteri
+    (fun i r -> Alcotest.(check int) "grown pool intact" (100 + i) (Request.id p r))
+    more;
+  Alcotest.(check int) "allocated counts all" 19 (Request.allocated p)
+
+let test_request_no_recycle_keeps_handles () =
+  (* recycle:false pools (faults/retry/cluster paths) must keep released
+     handles readable: duplicate responses arrive after first completion. *)
+  let p = Request.create_pool ~recycle:false () in
+  let r = Request.alloc p ~id:7 ~conn:3 ~arrival:2. ~service:1. ~measured:true in
+  Request.set_completion p r 9.;
+  Request.release p r;
+  Alcotest.(check (float 1e-9)) "still readable after release" 7. (Request.latency p r);
+  let r' = Request.alloc p ~id:8 ~conn:3 ~arrival:3. ~service:1. ~measured:true in
+  Alcotest.(check bool) "no slot reuse" true (r' <> r)
 
 (* ---- Loadgen ---- *)
 
 let run_loadgen ~rate ~conns ~echo_delay =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:9 in
-  let gen = Loadgen.create sim ~rng ~conns ~rate ~service:(Engine.Dist.deterministic 1.) () in
+  let pool = Request.create_pool ~recycle:true () in
+  let gen =
+    Loadgen.create sim ~rng ~pool ~conns ~rate ~service:(Engine.Dist.deterministic 1.) ()
+  in
   Loadgen.set_target gen (fun req ->
       ignore
         (Sim.schedule_after sim ~delay:echo_delay (fun () -> Loadgen.complete gen req)
@@ -149,8 +254,10 @@ let test_loadgen_rate_and_measurement () =
 let test_loadgen_order_violation_detected () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:10 in
+  let pool = Request.create_pool ~recycle:true () in
   let gen =
-    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+    Loadgen.create sim ~rng ~pool ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.)
+      ()
   in
   let pending = ref [] in
   Loadgen.set_target gen (fun req -> pending := req :: !pending);
@@ -168,8 +275,12 @@ let test_loadgen_double_complete_counted () =
      completion must be counted, not crash the client. *)
   let sim = Sim.create () in
   let rng = Rng.create ~seed:11 in
+  (* recycle:false — duplicate deliveries must stay detectable after the
+     first completion, exactly the situation that forbids slot reuse. *)
+  let pool = Request.create_pool ~recycle:false () in
   let gen =
-    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+    Loadgen.create sim ~rng ~pool ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.)
+      ()
   in
   let seen = ref None in
   Loadgen.set_target gen (fun req -> if !seen = None then seen := Some req);
@@ -188,8 +299,10 @@ let test_loadgen_double_complete_counted () =
 let test_loadgen_requires_target () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed:12 in
+  let pool = Request.create_pool ~recycle:true () in
   let gen =
-    Loadgen.create sim ~rng ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.) ()
+    Loadgen.create sim ~rng ~pool ~conns:1 ~rate:1.0 ~service:(Engine.Dist.deterministic 1.)
+      ()
   in
   Alcotest.check_raises "no target" (Invalid_argument "Loadgen.start: no target set") (fun () ->
       Loadgen.start gen ~warmup:0. ~measure:1.)
@@ -203,6 +316,10 @@ let () =
           Alcotest.test_case "range+determinism" `Quick test_rss_range_and_determinism;
           Alcotest.test_case "histogram" `Quick test_rss_histogram;
           Alcotest.test_case "bad args" `Quick test_rss_bad_args;
+          QCheck_alcotest.to_alcotest prop_rss_lut_matches_reference;
+          Alcotest.test_case "set_slot bounds" `Quick test_rss_set_slot_bounds;
+          Alcotest.test_case "remap mass conservation" `Quick
+            test_rss_remap_mass_conservation;
         ] );
       ( "ring",
         [
@@ -210,7 +327,13 @@ let () =
           Alcotest.test_case "overflow drops" `Quick test_ring_overflow_drops;
           QCheck_alcotest.to_alcotest prop_ring_model;
         ] );
-      ("request", [ Alcotest.test_case "lifecycle" `Quick test_request_lifecycle ]);
+      ( "request",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_request_lifecycle;
+          Alcotest.test_case "pool recycling" `Quick test_request_pool_recycling;
+          Alcotest.test_case "no-recycle keeps handles" `Quick
+            test_request_no_recycle_keeps_handles;
+        ] );
       ( "loadgen",
         [
           Alcotest.test_case "rate and measurement" `Quick test_loadgen_rate_and_measurement;

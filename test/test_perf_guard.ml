@@ -124,6 +124,41 @@ let test_pool_reuse_ratio () =
   if s.Sim.pool_slots > 128 then
     Alcotest.failf "pool grew to %d slots for 64 concurrent events" s.Sim.pool_slots
 
+(* PR 8 extends the guard from the bare engine cycle to the whole
+   request path: one fig6-style ZygOS point (the bench's
+   "experiments: ns per simulated request" config) must stay within a
+   fixed minor-words-per-simulated-request budget, point setup and
+   tally collection included. The floor is not 0: the engine cycle and
+   every pooled structure on the path (requests, events, parser, RSS)
+   are allocation-free, but non-flambda OCaml still boxes floats that
+   cross the remaining non-inlined call boundaries — two RNG
+   [exponential] draws per request (arrival gap, service sample, ~6
+   words each) plus the [~cost]/[~delay]/[~arrival]/latency floats
+   handed to segment starts, wakes, request allocs and tally records
+   (~2 words per crossing). Measured 2026-08: ~70 words/request; the
+   bound leaves headroom for compiler-version drift while still
+   tripping on any new per-request allocation (a single stray closure
+   or list cell per request costs 3+ words). *)
+let request_path_words_bound = 85.
+
+let test_request_path_minor_words () =
+  let requests = 1_500 in
+  let cfg =
+    Experiments.Run.config ~cores:4 ~conns:128 ~requests ~seed:1
+      ~system:Experiments.Run.Zygos ~service:(Engine.Dist.exponential 10.) ()
+  in
+  let point () = ignore (Experiments.Run.run_point cfg ~load:0.5 : Experiments.Run.point) in
+  point ();
+  let iters = 2 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    point ()
+  done;
+  let per_req = (Gc.minor_words () -. w0) /. float_of_int (iters * requests) in
+  if per_req > request_path_words_bound then
+    Alcotest.failf "request path allocates %.1f minor words/request (want <= %g)" per_req
+      request_path_words_bound
+
 let test_end_to_end_reuse_ratio () =
   (* The same invariant through the full stack: a ZygOS point's event
      pool must serve almost every schedule from the free list. *)
@@ -156,5 +191,7 @@ let () =
           Alcotest.test_case "event-pool reuse ratio ~ 1" `Quick test_pool_reuse_ratio;
           Alcotest.test_case "zygos point reuse ratio >= 0.9" `Quick
             test_end_to_end_reuse_ratio;
+          Alcotest.test_case "request path minor words/request bounded" `Quick
+            test_request_path_minor_words;
         ] );
     ]

@@ -13,17 +13,18 @@ let default_params cores = Systems.Params.default ~cores ()
    Responses are recorded as (request, completion time). *)
 let make_machine ?(cores = 2) ?(params = None) ~conns () =
   let sim = Sim.create () in
+  let pool = Request.create_pool () in
   let p = match params with Some p -> p | None -> default_params cores in
   let responses = ref [] in
   let iface =
-    Systems.Zygos.create sim p ~rng:(Rng.create ~seed:1) ~conns
+    Systems.Zygos.create sim p ~rng:(Rng.create ~seed:1) ~pool ~conns
       ~respond:(fun req -> responses := (req, Sim.now sim) :: !responses)
       ()
   in
-  (sim, iface, responses)
+  (sim, pool, iface, responses)
 
-let mk_req ~id ~conn ~service arrival =
-  Request.make ~id ~conn ~arrival ~service ~measured:true
+let mk_req pool ~id ~conn ~service arrival =
+  Request.alloc pool ~id ~conn ~arrival ~service ~measured:true
 
 (* Two connections homed on the same core, as computed by the same RSS
    configuration the system uses. *)
@@ -43,13 +44,13 @@ let test_single_request_cost () =
      dp_rx) + shuffle handoff + service + tx. Locks in the model's cost
      accounting. *)
   let p = default_params 2 in
-  let sim, iface, responses = make_machine ~cores:2 ~conns:4 () in
-  let req = mk_req ~id:0 ~conn:0 ~service:10. 0. in
+  let sim, pool, iface, responses = make_machine ~cores:2 ~conns:4 () in
+  let req = mk_req pool ~id:0 ~conn:0 ~service:10. 0. in
   iface.Systems.Iface.submit req;
   Sim.run sim;
   match !responses with
   | [ (r, at) ] ->
-      Alcotest.(check bool) "same request" true (r == req);
+      Alcotest.(check bool) "same request" true (r = req);
       let expected =
         p.Systems.Params.dp_loop (* idle wakeup poll *)
         +. p.Systems.Params.dp_loop +. p.Systems.Params.dp_rx (* rx *)
@@ -64,14 +65,14 @@ let test_steal_rescues_short_request () =
      core 0, arriving together: core 0 takes A; the idle core 1 must steal
      B so it completes long before A (no head-of-line blocking, §4.4). *)
   let a, b = two_conns_same_home ~cores:2 in
-  let sim, iface, responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
-  let long_req = mk_req ~id:0 ~conn:a ~service:100. 0. in
-  let short_req = mk_req ~id:1 ~conn:b ~service:5. 0. in
+  let sim, pool, iface, responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
+  let long_req = mk_req pool ~id:0 ~conn:a ~service:100. 0. in
+  let short_req = mk_req pool ~id:1 ~conn:b ~service:5. 0. in
   iface.Systems.Iface.submit long_req;
   iface.Systems.Iface.submit short_req;
   Sim.run sim;
   let completion r =
-    match List.assq_opt r !responses with
+    match List.assoc_opt r !responses with
     | Some t -> t
     | None -> Alcotest.fail "request not completed"
   in
@@ -93,20 +94,22 @@ let test_ipi_rescues_packet_behind_user_code () =
       let p = default_params 2 in
       if interrupts then p else Systems.Params.no_interrupts p
     in
-    let sim, iface, responses = make_machine ~cores:2 ~params:(Some params) ~conns:(max a b + 1) () in
-    let long_req = mk_req ~id:0 ~conn:a ~service:200. 0. in
+    let sim, pool, iface, responses =
+      make_machine ~cores:2 ~params:(Some params) ~conns:(max a b + 1) ()
+    in
+    let long_req = mk_req pool ~id:0 ~conn:a ~service:200. 0. in
     iface.Systems.Iface.submit long_req;
     (* B arrives once core 0 is deep in user code. *)
     let short_req = ref None in
     let _ : Sim.handle =
       Sim.schedule sim ~at:20. (fun () ->
-          let r = mk_req ~id:1 ~conn:b ~service:5. 20. in
+          let r = mk_req pool ~id:1 ~conn:b ~service:5. 20. in
           short_req := Some r;
           iface.Systems.Iface.submit r)
     in
     Sim.run sim;
     let r = Option.get !short_req in
-    (match List.assq_opt r !responses with
+    (match List.assoc_opt r !responses with
     | Some t -> t -. 20.
     | None -> Alcotest.fail "short request never completed")
   in
@@ -121,9 +124,9 @@ let test_remote_syscalls_return_home () =
   (* A stolen batch's responses are transmitted by the home core: the
      remote_batches counter must tick and ordering must hold. *)
   let a, b = two_conns_same_home ~cores:2 in
-  let sim, iface, _responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
-  iface.Systems.Iface.submit (mk_req ~id:0 ~conn:a ~service:50. 0.);
-  iface.Systems.Iface.submit (mk_req ~id:1 ~conn:b ~service:5. 0.);
+  let sim, pool, iface, _responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
+  iface.Systems.Iface.submit (mk_req pool ~id:0 ~conn:a ~service:50. 0.);
+  iface.Systems.Iface.submit (mk_req pool ~id:1 ~conn:b ~service:5. 0.);
   Sim.run sim;
   match Systems.Iface.info_value iface "remote_batches" with
   | Some n -> Alcotest.(check bool) "remote batch pushed" true (n >= 1.)
@@ -132,13 +135,13 @@ let test_remote_syscalls_return_home () =
 let test_per_conn_batching () =
   (* Back-to-back events on one connection execute as one exclusive batch
      (implicit batching, §6.2): both responses appear and in order. *)
-  let sim, iface, responses = make_machine ~cores:2 ~conns:4 () in
-  let r1 = mk_req ~id:0 ~conn:0 ~service:5. 0. in
-  let r2 = mk_req ~id:1 ~conn:0 ~service:5. 0. in
+  let sim, pool, iface, responses = make_machine ~cores:2 ~conns:4 () in
+  let r1 = mk_req pool ~id:0 ~conn:0 ~service:5. 0. in
+  let r2 = mk_req pool ~id:1 ~conn:0 ~service:5. 0. in
   iface.Systems.Iface.submit r1;
   iface.Systems.Iface.submit r2;
   Sim.run sim;
-  let t1 = List.assq_opt r1 !responses and t2 = List.assq_opt r2 !responses in
+  let t1 = List.assoc_opt r1 !responses and t2 = List.assoc_opt r2 !responses in
   match (t1, t2) with
   | Some t1, Some t2 -> Alcotest.(check bool) "in order" true (t1 < t2)
   | _ -> Alcotest.fail "responses missing"
@@ -149,18 +152,18 @@ let test_interrupt_extends_current_task () =
      completion slips by roughly the handler cost. *)
   let run ~second_arrives =
     let a, b = two_conns_same_home ~cores:2 in
-    let sim, iface, responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
-    let long_req = mk_req ~id:0 ~conn:a ~service:100. 0. in
+    let sim, pool, iface, responses = make_machine ~cores:2 ~conns:(max a b + 1) () in
+    let long_req = mk_req pool ~id:0 ~conn:a ~service:100. 0. in
     iface.Systems.Iface.submit long_req;
     if second_arrives then begin
       let _ : Sim.handle =
         Sim.schedule sim ~at:10. (fun () ->
-            iface.Systems.Iface.submit (mk_req ~id:1 ~conn:b ~service:1. 10.))
+            iface.Systems.Iface.submit (mk_req pool ~id:1 ~conn:b ~service:1. 10.))
       in
       ()
     end;
     Sim.run sim;
-    List.assq_opt long_req !responses |> Option.get
+    List.assoc_opt long_req !responses |> Option.get
   in
   let alone = run ~second_arrives:false in
   let interrupted = run ~second_arrives:true in
@@ -172,7 +175,7 @@ let test_interrupt_extends_current_task () =
 let test_zero_load_idle_terminates () =
   (* No requests: the machine schedules nothing and the simulation ends
      immediately (no busy polling loops in sim time). *)
-  let sim, _iface, responses = make_machine ~cores:4 ~conns:8 () in
+  let sim, _pool, _iface, responses = make_machine ~cores:4 ~conns:8 () in
   Sim.run sim;
   Alcotest.(check int) "no responses" 0 (List.length !responses);
   Alcotest.(check (float 0.)) "no time passed" 0. (Sim.now sim)
@@ -181,9 +184,9 @@ let test_rx_batching_bounded () =
   (* 200 packets for one core: receive-side batching processes at most
      zy_rx_batch per kernel segment, but everything completes. *)
   let p = { (default_params 2) with Systems.Params.zy_rx_batch = 16 } in
-  let sim, iface, responses = make_machine ~cores:2 ~params:(Some p) ~conns:64 () in
+  let sim, pool, iface, responses = make_machine ~cores:2 ~params:(Some p) ~conns:64 () in
   for i = 0 to 199 do
-    iface.Systems.Iface.submit (mk_req ~id:i ~conn:(i mod 64) ~service:1. 0.)
+    iface.Systems.Iface.submit (mk_req pool ~id:i ~conn:(i mod 64) ~service:1. 0.)
   done;
   Sim.run sim;
   Alcotest.(check int) "all completed" 200 (List.length !responses)
@@ -201,13 +204,14 @@ let test_trace_consistency () =
     | Systems.Zygos.Dispatch_local _ -> ()
   in
   let responses = ref 0 in
+  let pool = Request.create_pool () in
   let iface =
-    Systems.Zygos.create sim p ~rng:(Rng.create ~seed:3) ~conns:16
+    Systems.Zygos.create sim p ~rng:(Rng.create ~seed:3) ~pool ~conns:16
       ~respond:(fun _ -> incr responses)
       ~trace ()
   in
   for i = 0 to 99 do
-    iface.Systems.Iface.submit (mk_req ~id:i ~conn:(i mod 16) ~service:8. 0.)
+    iface.Systems.Iface.submit (mk_req pool ~id:i ~conn:(i mod 16) ~service:8. 0.)
   done;
   Sim.run sim;
   Alcotest.(check int) "all responded" 100 !responses;
