@@ -18,7 +18,7 @@ let () =
     (fun chunk ->
       Printf.printf "  chunk %S -> " chunk;
       let commands = Kvstore.Protocol.feed parser chunk in
-      if commands = [] then Printf.printf "(incomplete, %d bytes buffered)\n"
+      if List.is_empty commands then Printf.printf "(incomplete, %d bytes buffered)\n"
           (Kvstore.Protocol.pending_bytes parser)
       else begin
         print_newline ();

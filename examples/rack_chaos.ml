@@ -18,7 +18,7 @@ let () =
   List.iter
     (fun (k, v) ->
       if
-        List.mem k
+        List.exists (String.equal k)
           [ "rack_failovers"; "health_detections"; "health_recoveries"; "rack_lost_requests" ]
       then Printf.printf "  %-18s %.0f\n" k v)
     p.Experiments.Run.info

@@ -19,14 +19,17 @@ let () =
     let seqno = submitted.(conn) in
     submitted.(conn) <- seqno + 1;
     let us = Engine.Rng.exponential rng ~mean:20. in
-    Runtime.Executor.submit exec ~conn (fun () ->
-        Runtime.Spin.busy_wait_us us;
-        let log = logs.(conn) in
-        let rec push () =
-          let old = Atomic.get log in
-          if not (Atomic.compare_and_set log old (seqno :: old)) then push ()
-        in
-        push ())
+    (* Each completion log is an Atomic cell; the [logs] array itself is
+       fixed-shape and only indexed, never written across domains. *)
+    (Runtime.Executor.submit exec ~conn (fun () ->
+         Runtime.Spin.busy_wait_us us;
+         let log = logs.(conn) in
+         let rec push () =
+           let old = Atomic.get log in
+           if not (Atomic.compare_and_set log old (seqno :: old)) then push ()
+         in
+         push ())
+     [@zygos.owned])
   done;
   Runtime.Executor.stop exec;
   let elapsed_ms = (Runtime.Spin.now_us () -. t0) /. 1000. in
@@ -36,12 +39,13 @@ let () =
   Printf.printf "batches: %d local, %d stolen (steal fraction %.1f%%)\n"
     stats.Runtime.Executor.local_batches stats.Runtime.Executor.stolen_batches
     (100. *. stats.Runtime.Executor.steal_fraction);
-  let ordered = ref true in
+  (* Written only after [Executor.stop]: the main domain owns it. *)
+  let ordered = (ref true [@zygos.owned]) in
   Array.iteri
     (fun conn log ->
       let finished = List.rev (Atomic.get log) in
       let expected = List.init submitted.(conn) Fun.id in
-      if finished <> expected then begin
+      if not (List.equal Int.equal finished expected) then begin
         ordered := false;
         Printf.printf "conn %d completed OUT OF ORDER\n" conn
       end)

@@ -20,16 +20,20 @@ let () =
         t
   in
   let rolled_back = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  (* This example *measures live execution*: wall-clock is the payload,
+     not a determinism leak — TPS and per-tx latency are its output. *)
+  let t0 = (Unix.gettimeofday () [@zygos.allow "determinism"]) in
   for _ = 1 to n do
     let tx = Silo.Tpcc.standard_mix rng in
-    let s = Unix.gettimeofday () in
+    let s = (Unix.gettimeofday () [@zygos.allow "determinism"]) in
     (match Silo.Tpcc.execute tpcc worker rng tx with
     | Silo.Tpcc.Rolled_back -> incr rolled_back
     | Silo.Tpcc.Committed | Silo.Tpcc.Conflicted -> ());
-    Stats.Tally.record (tally_for (Silo.Tpcc.tx_name tx)) ((Unix.gettimeofday () -. s) *. 1e6)
+    Stats.Tally.record
+      (tally_for (Silo.Tpcc.tx_name tx))
+      (((Unix.gettimeofday () [@zygos.allow "determinism"]) -. s) *. 1e6)
   done;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = (Unix.gettimeofday () [@zygos.allow "determinism"]) -. t0 in
   Printf.printf "%d transactions in %.2fs = %.0f TPS (%d intentional rollbacks)\n\n" n elapsed
     (float_of_int n /. elapsed) !rolled_back;
   Printf.printf "%-12s %8s %10s %10s %10s\n" "transaction" "count" "p50(us)" "p99(us)" "max(us)";
@@ -44,4 +48,4 @@ let () =
     (List.length checks - List.length failed)
     (List.length checks);
   List.iter (fun (name, _) -> Printf.printf "  FAILED: %s\n" name) failed;
-  if failed <> [] then exit 1
+  if not (List.is_empty failed) then exit 1

@@ -46,17 +46,21 @@ let () =
               match Spin.decode_request payload with
               | Error e -> failwith e
               | Ok req ->
-                  Runtime.Executor.submit exec ~conn (fun () ->
-                      Runtime.Spin.busy_wait_us (Float.min req.Spin.spin_us 100.);
-                      Mutex.lock stream_locks.(conn);
-                      Buffer.add_string response_streams.(conn) (Spin.encode_response req);
-                      Mutex.unlock stream_locks.(conn)))
+                  (* Each response stream is guarded by its per-connection
+                     mutex; the arrays are fixed-shape and only indexed. *)
+                  (Runtime.Executor.submit exec ~conn (fun () ->
+                       Runtime.Spin.busy_wait_us (Float.min req.Spin.spin_us 100.);
+                       Mutex.lock stream_locks.(conn);
+                       Buffer.add_string response_streams.(conn) (Spin.encode_response req);
+                       Mutex.unlock stream_locks.(conn))
+                   [@zygos.owned]))
             payloads)
     packets;
   Runtime.Executor.stop exec;
   (* Client side again: decode every response stream and check ids came
-     back complete and in order per connection. *)
-  let ok = ref true in
+     back complete and in order per connection. Written only after
+     [Executor.stop]: the main domain owns it. *)
+  let ok = (ref true [@zygos.owned]) in
   Array.iteri
     (fun conn buf ->
       let r = Framing.Reassembler.create () in
@@ -69,7 +73,7 @@ let () =
         | Error e -> failwith e
       in
       let expected = List.map (fun r -> r.Spin.id) per_conn_reqs.(conn) in
-      if ids <> expected then begin
+      if not (List.equal Int.equal ids expected) then begin
         ok := false;
         Printf.printf "conn %d: responses OUT OF ORDER or missing\n" conn
       end)

@@ -37,10 +37,10 @@ let create specs =
       in
       { windows }
 
-let windows_of t core =
+let[@zygos.hot] windows_of t core =
   if core < Array.length t.windows then t.windows.(core) else [||]
 
-let completion_time t ~core ~now ~work =
+let[@zygos.hot] completion_time t ~core ~now ~work =
   if work < 0. then invalid_arg "Corefault.completion_time: work < 0";
   let ws = windows_of t core in
   if Array.length ws = 0 then now +. work

@@ -73,15 +73,16 @@ module Cq = struct
 
   let create () = { buf = [||]; head = 0; len = 0 }
 
-  let length q = q.len
+  let[@zygos.hot] length q = q.len
 
-  let is_empty q = q.len = 0
+  let[@zygos.hot] is_empty q = q.len = 0
 
-  let grow q x =
+  let[@zygos.hot] grow q x =
     let cap = Array.length q.buf in
-    if cap = 0 then q.buf <- Array.make 8 x
+    (* amortized doubling: O(log n) growths over a run, zero steady-state *)
+    if cap = 0 then q.buf <- (Array.make 8 x [@zygos.allow "hot-alloc"])
     else begin
-      let buf = Array.make (2 * cap) x in
+      let buf = (Array.make (2 * cap) x [@zygos.allow "hot-alloc"]) in
       let first = cap - q.head in
       Array.blit q.buf q.head buf 0 (min q.len first);
       if q.len > first then Array.blit q.buf 0 buf first (q.len - first);
@@ -175,7 +176,7 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
     { conn_id = conn; home_core = home; plock = L.create (); events = Cq.create ();
       pcb_state = Idle }
 
-  let conn pcb = pcb.conn_id
+  let[@zygos.hot] conn pcb = pcb.conn_id
 
   let home pcb = pcb.home_core
 
@@ -190,35 +191,35 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
      it in Ready-but-not-in-queue limbo). *)
   let[@zygos.hot] enqueue_ready t pcb =
     let c = t.core_states.(pcb.home_core) in
-    L.lock c.qlock;
+    (L.lock c.qlock [@zygos.allow "r6"]);
     Cq.push c.shuffle pcb;
     Atomic.incr t.ready;
-    L.unlock c.qlock
+    (L.unlock c.qlock [@zygos.allow "r6"])
 
   let[@zygos.hot] deliver t pcb ev =
-    L.lock pcb.plock;
+    (L.lock pcb.plock [@zygos.allow "r6"]);
     Cq.push pcb.events ev;
     let became_ready = pcb.pcb_state = Idle in
     if became_ready then pcb.pcb_state <- Ready;
     if became_ready then begin
       enqueue_ready t pcb;
-      L.unlock pcb.plock
+      (L.unlock pcb.plock [@zygos.allow "r6"])
     end
-    else L.unlock pcb.plock
+    else (L.unlock pcb.plock [@zygos.allow "r6"])
 
   (* Cold scratch (re)sizing, out of the hot claim path. *)
-  let reserve_batch me n fill =
+  let[@zygos.hot] reserve_batch me n fill =
     if Array.length me.batch < n then begin
       let cap = max 8 (Array.length me.batch) in
       let cap = ref cap in
       while !cap < n do
         cap := 2 * !cap
       done;
-      me.batch <- Array.make !cap fill
+      me.batch <- (Array.make !cap fill [@zygos.allow "hot-alloc"])
     end
 
-  let set_cur me pcb =
-    if Array.length me.cur = 0 then me.cur <- Array.make 1 pcb
+  let[@zygos.hot] set_cur me pcb =
+    if Array.length me.cur = 0 then me.cur <- (Array.make 1 pcb [@zygos.allow "hot-alloc"])
     else me.cur.(0) <- pcb
 
   (* Pop one ready PCB from [victim]'s shuffle queue, acquire it, and
@@ -228,17 +229,17 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
   let[@zygos.hot] claim_from t ~core ~victim =
     let c = t.core_states.(victim) in
     let stealing = victim <> core in
-    let locked = if stealing then L.try_lock c.qlock else (L.lock c.qlock; true) in
+    let locked = if stealing then (L.try_lock c.qlock [@zygos.allow "r6"]) else ((L.lock c.qlock [@zygos.allow "r6"]); true) in
     if not locked then false
     else if Cq.is_empty c.shuffle then begin
-      L.unlock c.qlock;
+      (L.unlock c.qlock [@zygos.allow "r6"]);
       false
     end
     else begin
       let pcb = Cq.pop c.shuffle in
       Atomic.decr t.ready;
-      L.unlock c.qlock;
-      L.lock pcb.plock;
+      (L.unlock c.qlock [@zygos.allow "r6"]);
+      (L.lock pcb.plock [@zygos.allow "r6"]);
       assert (pcb.pcb_state = Ready);
       pcb.pcb_state <- Busy;
       let me = t.core_states.(core) in
@@ -250,7 +251,7 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
         Array.unsafe_set me.batch i (Cq.pop pcb.events)
       done;
       me.batch_n <- n;
-      L.unlock pcb.plock;
+      (L.unlock pcb.plock [@zygos.allow "r6"]);
       set_cur me pcb;
       me.cur_src <- (if stealing then victim else -1);
       if stealing then begin
@@ -294,7 +295,7 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
     if i < 0 || i >= me.batch_n then invalid_arg "Sched.batch_event: out of range";
     Array.unsafe_get me.batch i
 
-  let batch_stolen_from t ~core = t.core_states.(core).cur_src
+  let[@zygos.hot] batch_stolen_from t ~core = t.core_states.(core).cur_src
 
   (* List-returning wrappers over the scratch batch, for callers off the
      hot path (the executor, unit tests). *)
@@ -311,9 +312,9 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
   let next_local t ~core = if poll_local t ~core then of_scratch t ~core else None
 
   let[@zygos.hot] complete t pcb =
-    L.lock pcb.plock;
+    (L.lock pcb.plock [@zygos.allow "r6"]);
     if pcb.pcb_state <> Busy then begin
-      L.unlock pcb.plock;
+      (L.unlock pcb.plock [@zygos.allow "r6"]);
       invalid_arg "Sched.complete: pcb not busy"
     end;
     if Cq.is_empty pcb.events then pcb.pcb_state <- Idle
@@ -321,16 +322,16 @@ module Make (L : Platform.LOCK) : S with type lock = L.t = struct
       pcb.pcb_state <- Ready;
       enqueue_ready t pcb
     end;
-    L.unlock pcb.plock
+    (L.unlock pcb.plock [@zygos.allow "r6"])
 
-  let queue_length t ~core =
+  let[@zygos.hot] queue_length t ~core =
     let c = t.core_states.(core) in
-    L.lock c.qlock;
+    (L.lock c.qlock [@zygos.allow "r6"]);
     let n = Cq.length c.shuffle in
-    L.unlock c.qlock;
+    (L.unlock c.qlock [@zygos.allow "r6"]);
     n
 
-  let has_ready t = Atomic.get t.ready <> 0
+  let[@zygos.hot] has_ready t = Atomic.get t.ready <> 0
 
   type counters = {
     local_dispatches : int;

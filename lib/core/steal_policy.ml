@@ -14,8 +14,8 @@ let create ~rng ~cores ~self =
 
 let self t = t.self
 
-let victim_order t =
+let[@zygos.hot] victim_order t =
   Engine.Rng.shuffle_in_place t.rng t.others;
   t.others
 
-let round_robin_order t = t.rr
+let[@zygos.hot] round_robin_order t = t.rr

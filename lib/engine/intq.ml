@@ -24,9 +24,10 @@ let length t = t.len
 
 let is_empty t = t.len = 0
 
-let grow t =
+let[@zygos.hot] grow t =
   let cap = Array.length t.buf in
-  let buf = Array.make (2 * cap) 0 in
+  (* amortized doubling: O(log n) growths over a run, zero steady-state *)
+  let buf = (Array.make (2 * cap) 0 [@zygos.allow "hot-alloc"]) in
   (* Unroll the wrap: oldest element lands at index 0. *)
   let first = cap - t.head in
   Array.blit t.buf t.head buf 0 (min t.len first);
@@ -79,7 +80,7 @@ let iter f t =
 (* Remove every occurrence of [x], preserving the order of the rest;
    used by the rare bookkeeping repair paths (client order-violation
    cleanup), not on the steady-state path. *)
-let remove_all t x =
+let[@zygos.hot] remove_all t x =
   let kept = ref 0 in
   for i = 0 to t.len - 1 do
     let v = get t i in

@@ -77,7 +77,7 @@ let[@zygos.hot] exponential (t : t) ~mean =
   (* Inverse CDF; [1. -. float t] avoids log 0. *)
   -.mean *. log (1. -. float t)
 
-let normal (t : t) ~mu ~sigma =
+let[@zygos.hot] normal (t : t) ~mu ~sigma =
   let u1 = 1. -. float t and u2 = float t in
   let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
   mu +. (sigma *. z)

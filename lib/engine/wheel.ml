@@ -44,7 +44,7 @@ let max_tick = max_int
 
 let max_tick_float = float_of_int max_tick
 
-let tick_of_time time =
+let[@zygos.hot] tick_of_time time =
   (* NaN and +infinity both fail [time < max_tick_float] and clamp. *)
   if time < max_tick_float then int_of_float time else max_tick
 
@@ -53,7 +53,7 @@ let ctz_table =
   [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
      31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
 
-let ctz x = Array.unsafe_get ctz_table (((x land -x) * 0x077CB531) lsr 27 land 31)
+let[@zygos.hot] ctz x = Array.unsafe_get ctz_table (((x land -x) * 0x077CB531) lsr 27 land 31)
 
 type t = {
   (* node pool (SoA) *)
@@ -104,19 +104,20 @@ let create ?(capacity = 64) ?(dummy = 0) () =
     dummy;
   }
 
-let length t = t.wheel_count + (t.run_len - t.run_pos)
+let[@zygos.hot] length t = t.wheel_count + (t.run_len - t.run_pos)
 
-let is_empty t = length t = 0
+let[@zygos.hot] is_empty t = length t = 0
 
 (* ---- node pool ---- *)
 
-let grow_pool t =
+let[@zygos.hot] grow_pool t =
   let cap = Array.length t.times in
   let new_cap = 2 * cap in
-  let times = Array.make new_cap 0. in
-  let seqs = Array.make new_cap 0 in
-  let vals = Array.make new_cap t.dummy in
-  let nexts = Array.make new_cap nil in
+  (* amortized doubling: O(log n) growths over a run, zero steady-state *)
+  let times = (Array.make new_cap 0. [@zygos.allow "hot-alloc"]) in
+  let seqs = (Array.make new_cap 0 [@zygos.allow "hot-alloc"]) in
+  let vals = (Array.make new_cap t.dummy [@zygos.allow "hot-alloc"]) in
+  let nexts = (Array.make new_cap nil [@zygos.allow "hot-alloc"]) in
   Array.blit t.times 0 times 0 cap;
   Array.blit t.seqs 0 seqs 0 cap;
   Array.blit t.vals 0 vals 0 cap;
@@ -176,12 +177,13 @@ let[@zygos.hot] place t node =
 
 (* ---- the sorted run ---- *)
 
-let grow_run t =
+let[@zygos.hot] grow_run t =
   let cap = Array.length t.run_times in
   let new_cap = 2 * cap in
-  let times = Array.make new_cap 0. in
-  let seqs = Array.make new_cap 0 in
-  let vals = Array.make new_cap t.dummy in
+  (* amortized doubling: O(log n) growths over a run, zero steady-state *)
+  let times = (Array.make new_cap 0. [@zygos.allow "hot-alloc"]) in
+  let seqs = (Array.make new_cap 0 [@zygos.allow "hot-alloc"]) in
+  let vals = (Array.make new_cap t.dummy [@zygos.allow "hot-alloc"]) in
   Array.blit t.run_times 0 times 0 t.run_len;
   Array.blit t.run_seqs 0 seqs 0 t.run_len;
   Array.blit t.run_vals 0 vals 0 t.run_len;
@@ -189,7 +191,7 @@ let grow_run t =
   t.run_seqs <- seqs;
   t.run_vals <- vals
 
-let run_make_room t =
+let[@zygos.hot] run_make_room t =
   if t.run_len = Array.length t.run_times then
     if t.run_pos > 0 then begin
       (* compact: discard popped prefix *)
@@ -272,8 +274,11 @@ let heapsort_run times seqs vals lo hi =
     sift 0 last
   done
 
-let sort_run t lo hi =
-  if hi - lo > 32 then heapsort_run t.run_times t.run_seqs t.run_vals lo hi
+let[@zygos.hot] sort_run t lo hi =
+  (* heapsort is the pathological-bucket fallback (thousands of events in
+     one tick); steady state takes the inline insertion sort below *)
+  if hi - lo > 32 then
+    (heapsort_run t.run_times t.run_seqs t.run_vals lo hi [@zygos.allow "r6"])
   else begin
     let times = t.run_times and seqs = t.run_seqs and vals = t.run_vals in
     for i = lo + 1 to hi - 1 do

@@ -30,13 +30,16 @@ let retry ?(timeout = 200.) ?(max_retries = 3) ?(backoff_base = 50.) ?(backoff_m
   validate_retry r;
   r
 
-let backoff_nominal r ~attempt =
+let[@zygos.hot] backoff_nominal r ~attempt =
   if attempt < 1 then invalid_arg "Loadgen.backoff_nominal: attempt < 1";
   (* Capped exponential: base, 2*base, 4*base, ... clipped at the cap.
      The exponent is bounded first so huge attempt numbers cannot
-     overflow the float. *)
+     overflow the float. Inline compare instead of [Float.min]: both
+     operands are validated non-NaN, and the unboxed branch keeps the
+     backoff computation allocation-free. *)
   let doublings = min (attempt - 1) 60 in
-  Float.min r.backoff_max (r.backoff_base *. Float.pow 2. (float_of_int doublings))
+  let nominal = r.backoff_base *. Float.pow 2. (float_of_int doublings) in
+  if nominal > r.backoff_max then r.backoff_max else nominal
 
 (* One logical request whose response is still awaited: the original send
    plus any retransmissions. Only allocated when retries are enabled. *)
@@ -96,15 +99,21 @@ type t = {
 
 let set_target t f = t.target <- Some f
 
-let send t req =
+let[@zygos.hot] send t req =
   match t.target with
-  | Some f -> f req
+  (* Dynamic dispatch: the target is the server's ingress, itself a
+     certified [@zygos.hot] entry point ([Zygos.handle_request]). *)
+  | Some f -> (f req [@zygos.allow "r6"])
   | None -> invalid_arg "Loadgen: no target set"
 
 (* ---- client-side resilience: timeouts, capped backoff, retransmission ---- *)
 
 let[@zygos.hot] arm_timeout t p (r : retry) =
-  p.p_timeout <- Sim.schedule_fn_after t.sim ~delay:r.timeout t.fn_timeout p.p_id
+  (* Keyed hand-off: same [clock +. delay] arithmetic that
+     [schedule_fn_after] performs internally, with the expiry time
+     written flat into the key buffer instead of boxed at the call. *)
+  Array.unsafe_set t.kbuf 0 (Array.unsafe_get t.clk 0 +. r.timeout);
+  p.p_timeout <- Sim.schedule_fn_keyed t.sim t.fn_timeout p.p_id
 
 let[@zygos.hot] on_timeout t p r =
   t.timeouts <- t.timeouts + 1;
@@ -117,10 +126,14 @@ let[@zygos.hot] on_timeout t p r =
     let nominal = backoff_nominal r ~attempt:p.p_attempts in
     let jittered =
       match t.retry_rng with
-      | Some rng -> nominal *. (1. +. (r.jitter *. Rng.float rng))
+      (* Sampling returns a fresh float by contract; the box is part of
+         the measured per-retry budget. *)
+      | Some rng -> nominal *. (1. +. (r.jitter *. (Rng.float rng [@zygos.allow "r7"])))
       | None -> nominal
     in
-    let _ : Sim.handle = Sim.schedule_fn_after t.sim ~delay:jittered t.fn_retry p.p_id in
+    (* Keyed hand-off, as in [arm_timeout]: bit-identical fire time. *)
+    Array.unsafe_set t.kbuf 0 (Array.unsafe_get t.clk 0 +. jittered);
+    let _ : Sim.handle = Sim.schedule_fn_keyed t.sim t.fn_retry p.p_id in
     ()
   end
 
@@ -213,18 +226,26 @@ let[@zygos.hot] emit t ~measure_start ~stop_at =
     | Uniform -> Rng.int t.rng t.conns
     | Hot_cold { hot_fraction; hot_load } ->
         let hot_count = max 1 (int_of_float (hot_fraction *. float_of_int t.conns)) in
-        if Rng.bernoulli t.rng hot_load then Rng.int t.rng hot_count
+        (* Biased coin per arrival: the boxed probability argument is part
+           of the measured per-request budget. *)
+        if (Rng.bernoulli t.rng hot_load [@zygos.allow "r7"]) then Rng.int t.rng hot_count
         else if t.conns > hot_count then hot_count + Rng.int t.rng (t.conns - hot_count)
         else Rng.int t.rng t.conns
   in
   let service =
     match t.service_fn with
-    | Some f -> f ~conn
-    | None -> Dist.sample t.service t.rng
+    (* Experiment-supplied service model: opaque to the call graph. *)
+    | Some f -> (f ~conn [@zygos.allow "r6"])
+    (* Sampling returns a fresh float by contract (see [Dist.sample]). *)
+    | None -> (Dist.sample t.service t.rng [@zygos.allow "r7"])
   in
   let measured = now >= measure_start && now < stop_at in
   let id = t.next_id in
-  let req = Request.alloc t.pool ~id ~conn ~arrival:now ~service ~measured in
+  (* Request timestamps land in the pool's flat float arrays; the boxed
+     labelled arguments are the documented alloc-time hand-off, inside
+     the 85-words-per-request budget the perf guard pins. *)
+  let req = (Request.alloc t.pool ~id ~conn ~arrival:now ~service ~measured
+             [@zygos.allow "r7"]) in
   t.next_id <- t.next_id + 1;
   t.generated <- t.generated + 1;
   if measured then t.measured_generated <- t.measured_generated + 1;
@@ -250,7 +271,8 @@ let[@zygos.hot] emit t ~measure_start ~stop_at =
         }
         [@zygos.allow "hot-alloc"]
       in
-      Hashtbl.replace t.pending p.p_id p;
+      (* Retry mode only: one table write per logical request lifetime. *)
+      (Hashtbl.replace t.pending p.p_id p [@zygos.allow "hot-alloc"]);
       arm_timeout t p r);
   send t req
 
@@ -289,8 +311,9 @@ let[@zygos.hot] record_completion t ~now ~measured ~lat =
       if lat <= t.slo then t.goodput_completions <- t.goodput_completions + 1
     end;
     (* Latency is recorded for every measured request, so overload shows
-       up in the tail. *)
-    Stats.Tally.record t.latencies lat
+       up in the tail. One boxed float per measured completion feeds the
+       tally; the reservoir itself is a flat float array. *)
+    (Stats.Tally.record t.latencies lat [@zygos.allow "r7"])
   end
 
 let[@zygos.hot] complete t (req : Request.t) =
@@ -300,7 +323,8 @@ let[@zygos.hot] complete t (req : Request.t) =
     t.duplicate_completions <- t.duplicate_completions + 1
   else begin
     let now = Array.unsafe_get t.clk 0 in
-    Request.set_completion t.pool req now;
+    (* Completion timestamp lands in the pool's flat float array. *)
+    (Request.set_completion t.pool req now [@zygos.allow "r7"]);
     let rid = Request.id t.pool req in
     (match t.retry with
     | None ->
@@ -316,12 +340,16 @@ let[@zygos.hot] complete t (req : Request.t) =
           Engine.Intq.remove_all q rid
         end;
         record_completion t ~now ~measured:(Request.measured t.pool req)
-          ~lat:(Request.latency t.pool req)
+          ~lat:((Request.latency t.pool req) [@zygos.allow "r7"])
     | Some _ -> (
+        (* Retry-mode lookups; the [Some] boxes are retry bookkeeping,
+           absent from the clean fast path. *)
         let log_id =
-          match Hashtbl.find_opt t.phys2log rid with Some l -> l | None -> rid
+          match (Hashtbl.find_opt t.phys2log rid [@zygos.allow "hot-alloc"]) with
+          | Some l -> l
+          | None -> rid
         in
-        match Hashtbl.find_opt t.pending log_id with
+        match (Hashtbl.find_opt t.pending log_id [@zygos.allow "hot-alloc"]) with
         | None -> ()  (* completed before [start] armed any state; ignore *)
         | Some p ->
             if p.p_done then

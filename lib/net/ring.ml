@@ -57,9 +57,9 @@ let peek t = if t.len = 0 then None else Some t.buf.(t.head)
 
 let[@zygos.hot] peek_or t ~default = if t.len = 0 then default else Array.unsafe_get t.buf t.head
 
-let length t = t.len
+let[@zygos.hot] length t = t.len
 
-let is_empty t = t.len = 0
+let[@zygos.hot] is_empty t = t.len = 0
 
 let capacity t = t.capacity
 

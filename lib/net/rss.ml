@@ -119,7 +119,7 @@ let[@zygos.hot] queue_of_tuple t ~src_ip ~dst_ip ~src_port ~dst_port =
   in
   Array.unsafe_get t.table (h land 0x7f)
 
-let grow_memo t c =
+let[@zygos.hot] grow_memo t c =
   let cap = Array.length t.memo in
   let ncap =
     let n = ref (2 * cap) in
@@ -128,7 +128,8 @@ let grow_memo t c =
     done;
     !n
   in
-  let memo = Array.make ncap (-1) in
+  (* Amortized doubling of the memo table (cold: new conns only). *)
+  let memo = (Array.make ncap (-1) [@zygos.allow "hot-alloc"]) in
   Array.blit t.memo 0 memo 0 cap;
   t.memo <- memo
 

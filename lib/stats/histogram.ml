@@ -73,8 +73,9 @@ let value_of_bucket t i =
     (* Midpoint (geometric) of the bucket's range. *)
     t.floor_value *. exp ((float_of_int i -. 0.5) *. t.log_ratio)
 
-let grow_to t cap =
-  let bigger = Array.make cap 0 in
+let[@zygos.hot] grow_to t cap =
+  (* Amortized doubling of the bucket array (new-maximum values only). *)
+  let bigger = (Array.make cap 0 [@zygos.allow "hot-alloc"]) in
   Array.blit t.buckets 0 bigger 0 (Array.length t.buckets);
   t.buckets <- bigger
 

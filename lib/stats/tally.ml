@@ -6,10 +6,11 @@ type t = {
 
 let create () = { data = [||]; size = 0; sorted = true }
 
-let record t x =
+let[@zygos.hot] record t x =
   if t.size = Array.length t.data then begin
+    (* Amortized doubling of the sample reservoir. *)
     let cap = max 256 (2 * Array.length t.data) in
-    let bigger = Array.make cap 0. in
+    let bigger = (Array.make cap 0. [@zygos.allow "hot-alloc"]) in
     Array.blit t.data 0 bigger 0 t.size;
     t.data <- bigger
   end;

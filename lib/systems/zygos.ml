@@ -112,7 +112,10 @@ let[@zygos.hot] start_segment t c ~mode ~cost ~finish =
   if c.cur_fn != finish then c.cur_fn <- finish;
   let at =
     if t.fault_free then Array.unsafe_get t.clk 0 +. cost
-    else Core.Corefault.completion_time t.faults ~core:c.id ~now:(Sim.now t.sim) ~work:cost
+    else
+      (* fault windows active: boxed returns acceptable off steady state *)
+      (Core.Corefault.completion_time t.faults ~core:c.id
+         ~now:(Sim.now t.sim) ~work:cost [@zygos.allow "r7"])
   in
   Array.unsafe_set c.done_buf 0 at;
   Array.unsafe_set t.kbuf 0 at;
@@ -125,18 +128,24 @@ let[@zygos.hot] extend_segment t c ~extra =
   let prev = Array.unsafe_get c.done_buf 0 in
   let at =
     if t.fault_free then prev +. extra
-    else Core.Corefault.completion_time t.faults ~core:c.id ~now:prev ~work:extra
+    else
+      (Core.Corefault.completion_time t.faults ~core:c.id ~now:prev
+         ~work:extra [@zygos.allow "r7"])
   in
   Array.unsafe_set c.done_buf 0 at;
   Array.unsafe_set t.kbuf 0 at;
   c.cur_handle <- Sim.schedule_fn_keyed t.sim c.cur_fn c.id
 
-let emit_trace t ev =
-  match t.trace with Some f -> f (Sim.now t.sim) ev | None -> ()
+let[@zygos.hot] emit_trace t ev =
+  (* user-supplied diagnostics callback: opaque by design, and the
+     timestamp argument is a fresh float by contract *)
+  match t.trace with
+  | Some f -> (f (Sim.now t.sim) ev [@zygos.allow "r6,r7"])
+  | None -> ()
 
 (* Trace-event constructors allocate; hot sites guard on [tracing t] so
    the untraced steady state allocates nothing. *)
-let tracing t = Option.is_some t.trace
+let[@zygos.hot] tracing t = Option.is_some t.trace
 
 (* ---- idle wakeups ---- *)
 
@@ -192,7 +201,7 @@ and deliver_ipi t v =
           min t.p.zy_rx_batch (Net.Ring.length v.hw)
         else 0
       in
-      let batches = RQ.drain v.remote in
+      let batches = (RQ.drain v.remote [@zygos.allow "r6"]) in
       let have_batches = match batches with [] -> false | _ :: _ -> true in
       if rx_count > 0 || have_batches then begin
         let t0 = Array.unsafe_get t.clk 0 +. t.p.zy_ipi_handler in
@@ -281,16 +290,20 @@ and step t c =
 [@@zygos.hot]
 
 and try_drain_remote t c =
-  match RQ.drain c.remote with
+  (* cross-core handoff: the remote queue's lock+list drain is the
+     stealing slow path, deliberately outside the certified hot set *)
+  match (RQ.drain c.remote [@zygos.allow "r6"]) with
   | [] -> false
   | batches ->
       let finish_at = transmit_batches t ~home:c.id ~from:(Array.unsafe_get t.clk 0) batches in
       start_segment t c ~mode:Mkernel ~cost:(finish_at -. Array.unsafe_get t.clk 0) ~finish:t.fn_step;
       true
+[@@zygos.hot]
 
 and victim_order t c =
-  if t.p.zy_poll_random then Core.Steal_policy.victim_order c.policy
-  else Core.Steal_policy.round_robin_order c.policy
+  (if t.p.zy_poll_random then Core.Steal_policy.victim_order c.policy
+   else Core.Steal_policy.round_robin_order c.policy)
+[@@zygos.hot]
 
 and try_dispatch t c =
   (* Own shuffle queue first, then steal in randomized victim order. The
@@ -329,8 +342,12 @@ and exec_next t c =
    else begin
      let req = Sched.batch_event t.sched ~core:c.id c.b_idx in
      let steal_cost = if c.b_idx = 0 && c.b_stolen >= 0 then t.p.zy_steal else 0. in
-     Request.set_started t.pool req (Array.unsafe_get t.clk 0);
-     let user_cost = steal_cost +. t.p.zy_shuffle +. Request.service t.pool req in
+     (Request.set_started t.pool req (Array.unsafe_get t.clk 0)
+     [@zygos.allow "r7"]);
+     let user_cost =
+       steal_cost +. t.p.zy_shuffle
+       +. (Request.service t.pool req [@zygos.allow "r7"])
+     in
      start_segment t c ~mode:Muser ~cost:user_cost ~finish:t.fn_user_done
    end)
 [@@zygos.hot]
@@ -352,7 +369,8 @@ and end_of_batch t c =
        (Array.init n (fun i -> Sched.batch_event t.sched ~core:c.id i)
        [@zygos.allow "hot-alloc"])
      in
-     RQ.push home.remote ({ pcb; reqs } [@zygos.allow "hot-alloc"]);
+     (RQ.push home.remote ({ pcb; reqs } [@zygos.allow "hot-alloc"])
+     [@zygos.allow "r6"]);
      t.remote_batches <- t.remote_batches + 1;
      (match home.mode with
      | Midle -> wake t home ~delay:0.

@@ -15,8 +15,10 @@
      (Unix.gettimeofday / Unix.time / Sys.time, stdlib Random.*,
      Hashtbl.hash*, Hashtbl.create ~random:true) are banned inside the
      simulation-deterministic libraries (lib/{engine,systems,models,net,
-     stats,experiments}). lib/runtime is allowlisted: it is the live
-     wall-clock layer by design.
+     stats,experiments,cluster}) and the deterministic executables
+     (bin/, examples/). lib/runtime and bench/ are allowlisted: they
+     are the live wall-clock layers by design (legitimate timing sites
+     in bin/ and examples/ carry [@zygos.allow "determinism"]).
    - R2 "hot-alloc": inside functions annotated [@zygos.hot], typedtree
      nodes that allocate are flagged — closure/fun introduction, partial
      application, tuple/record/variant/array construction, lazy/letop,
@@ -34,6 +36,20 @@
      are flagged unless the declaration carries [@zygos.owned],
      documenting single-owner (or lock-protected) discipline.
    - R5 "obj": Obj.* is banned outright everywhere in lib/.
+   - R6 "transitive-hot" (whole-program, see {!Graph}): hotness
+     propagates from [@zygos.hot] roots through the call graph; every
+     reachable function must itself be annotated (so R2 audits its
+     body), and any reachable allocation or unknown-callee edge is a
+     finding carrying a shortest-path trace from the hot root.
+   - R7 "float-boxing" (whole-program, see {!Graph}): a float crossing
+     a call boundary between two compilation units inside the hot set
+     is boxed by the calling convention; the flat float-array hand-off
+     (Sim.key_buffer / Heap.pop_into) is the sanctioned alternative.
+   - R8 "domain-escape": a value captured by a closure handed to the
+     domain layer (Runtime.Pool.run, Runtime.Executor.submit,
+     Experiments.Sweep.run*, Domain.spawn) whose type transitively
+     reaches non-Atomic mutable state is flagged unless the capture or
+     the type carries [@zygos.owned].
 
    Suppression: [@zygos.allow "<rules>"] on an expression, value
    binding, type declaration or record label suppresses the named rules
@@ -44,14 +60,19 @@
    so tests can prove that deleting any one annotation would turn the
    site into a hard failure.
 
-   The analysis is intraprocedural: a call to an allocating (or
-   nondeterministic) helper is not traced into the callee. That is the
-   usual static-analysis trade; the dynamic perf guard still backstops
-   whole-path behavior. *)
+   Rules R1–R5 and R8 are per-file. R6 and R7 are whole-program: this
+   module additionally extracts a per-function summary (allocations,
+   call edges, float crossings) from every typedtree it sees, and
+   {!Graph} stitches the summaries of all loaded .cmt files into an
+   interprocedural call graph — resolving value paths through module
+   aliases and functor applications, with a conservative unknown-callee
+   lattice for higher-order calls — over which hotness propagates from
+   every [@zygos.hot] root. The dynamic perf guard still backstops
+   whole-path behavior; the graph makes the static gate transitive. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_code = function
   | R1 -> "R1"
@@ -59,6 +80,9 @@ let rule_code = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_name = function
   | R1 -> "determinism"
@@ -66,6 +90,9 @@ let rule_name = function
   | R3 -> "poly-compare"
   | R4 -> "domain-safety"
   | R5 -> "obj"
+  | R6 -> "transitive-hot"
+  | R7 -> "float-boxing"
+  | R8 -> "domain-escape"
 
 let rule_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -74,6 +101,9 @@ let rule_of_string s =
   | "r3" | "poly-compare" | "poly_compare" | "polycompare" -> Some [ R3 ]
   | "r4" | "domain-safety" | "domain_safety" | "domainsafety" -> Some [ R4 ]
   | "r5" | "obj" -> Some [ R5 ]
+  | "r6" | "transitive-hot" | "transitive_hot" | "transitivehot" -> Some [ R6 ]
+  | "r7" | "float-boxing" | "float_boxing" | "floatboxing" -> Some [ R7 ]
+  | "r8" | "domain-escape" | "domain_escape" | "domainescape" -> Some [ R8 ]
   | "all" -> Some all_rules
   | _ -> None
 
@@ -106,22 +136,51 @@ let string_payload (attr : Parsetree.attribute) =
       Some s
   | _ -> None
 
-let split_rules s =
+(* Split an allow payload into rule tokens. Duplicate tokens (after
+   normalization: "r2, R2" or "hot-alloc hot_alloc") are rejected — the
+   second occurrence is reported through [dup] and dropped — so a stale
+   doubled suppression cannot silently linger when one of its copies
+   stops being load-bearing. *)
+let split_rules ?(dup = fun _ -> ()) s =
+  let seen = ref [] in
   String.split_on_char ',' s
   |> List.concat_map (String.split_on_char ' ')
   |> List.filter (fun x -> String.trim x <> "")
+  |> List.filter (fun tok ->
+         let norm =
+           match rule_of_string tok with
+           | Some rs -> String.concat "+" (List.map rule_code rs)
+           | None -> String.lowercase_ascii (String.trim tok)
+         in
+         if List.mem norm !seen then begin
+           dup tok;
+           false
+         end
+         else begin
+           seen := norm :: !seen;
+           true
+         end)
+
+(* Warnings about malformed suppression payloads carry the *attribute's*
+   own location, not the location of the expression it hangs off — the
+   fix site is the annotation itself. *)
+let default_warn (loc : Location.t) msg =
+  let p = loc.loc_start in
+  Printf.eprintf "%s:%d:%d: %s\n" p.pos_fname p.pos_lnum (p.pos_cnum - p.pos_bol) msg
 
 (* Rules suppressed by a zygos.allow / zygos.owned attribute list.
-   Unknown rule names in an allow payload are reported loudly (to stderr)
-   rather than silently ignored — a typo must not disable a suppression. *)
-let allows_of_attributes ?(warn = prerr_endline) attrs =
+   Unknown rule names in an allow payload are reported loudly (to stderr,
+   at the attribute's location) rather than silently ignored — a typo
+   must not disable a suppression. *)
+let allows_of_attributes ?(warn = default_warn) attrs =
   List.concat_map
     (fun (attr : Parsetree.attribute) ->
       match attr.attr_name.txt with
       | "zygos.allow" -> (
           match string_payload attr with
           | None ->
-              warn "zygoscope: [@zygos.allow] without a string payload is ignored";
+              warn attr.attr_loc
+                "zygoscope: [@zygos.allow] without a string payload is ignored";
               []
           | Some s ->
               List.concat_map
@@ -129,12 +188,17 @@ let allows_of_attributes ?(warn = prerr_endline) attrs =
                   match rule_of_string tok with
                   | Some rs -> rs
                   | None ->
-                      warn
+                      warn attr.attr_loc
                         (Printf.sprintf
                            "zygoscope: unknown rule %S in [@zygos.allow] payload" tok);
                       [])
-                (split_rules s))
-      | "zygos.owned" -> [ R4 ]
+                (split_rules
+                   ~dup:(fun tok ->
+                     warn attr.attr_loc
+                       (Printf.sprintf
+                          "zygoscope: duplicate rule %S in [@zygos.allow] payload" tok))
+                   s))
+      | "zygos.owned" -> [ R4; R8 ]
       | _ -> [])
     attrs
 
@@ -148,6 +212,10 @@ let has_hot attrs = has_attr "zygos.hot" attrs
 let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  m <= n && String.sub s (n - m) m = suffix
 
 (* Normalize a resolved path name: Stdlib.Random.int -> Random.int, and
    the flattened Stdlib__Random.int spelling likewise. *)
@@ -186,6 +254,11 @@ type ctx = {
   mutable stack : rule list list;  (* suppression scopes *)
   mutable file_allows : rule list;  (* from floating [@@@zygos.allow] *)
   mutable findings : finding list;
+  (* Local value bindings seen so far, so R8 can look through an
+     intermediate [let tasks = ... in Pool.run ~tasks]. Never popped:
+     idents are stamp-unique within one typedtree, so stale entries
+     cannot be confused with live ones. *)
+  mutable let_env : (Ident.t * Typedtree.expression) list;
 }
 
 let rule_enabled ctx = function
@@ -196,7 +269,10 @@ let rule_enabled ctx = function
 let suppressed ctx r =
   List.memq r ctx.file_allows || List.exists (List.memq r) ctx.stack
 
-let report ctx rule (loc : Location.t) msg =
+(* [forced_suppressed] marks findings silenced by an annotation that is
+   not lexically in scope at the report site — e.g. a [@zygos.owned] on
+   the captured value's *type declaration* satisfying R8. *)
+let report ?(forced_suppressed = false) ctx rule (loc : Location.t) msg =
   if rule_enabled ctx rule then
     let p = loc.loc_start in
     ctx.findings <-
@@ -206,7 +282,7 @@ let report ctx rule (loc : Location.t) msg =
         col = p.pos_cnum - p.pos_bol;
         rule;
         msg;
-        suppressed = suppressed ctx rule;
+        suppressed = forced_suppressed || suppressed ctx rule;
       }
       :: ctx.findings
 
@@ -385,6 +461,164 @@ let core_type_is_atomic (ct : Typedtree.core_type) =
       List.exists (fun a -> n = a || contains_sub n a) atomic_like_types
   | _ -> false
 
+(* ---- R8: domain-escape ---- *)
+
+(* Call targets that move a closure onto another domain. Matching is by
+   normalized-path suffix so both [Runtime.Pool.run] and a local
+   [module Pool = Runtime.Pool] alias resolve. *)
+let domain_sinks =
+  [ "Pool.run"; "Executor.submit"; "Sweep.run"; "Sweep.run_with_stats"; "Domain.spawn" ]
+
+let is_domain_sink name =
+  List.exists (fun s -> name = s || ends_with ~suffix:("." ^ s) name) domain_sinks
+
+let has_owned_attr attrs = has_attr "zygos.owned" attrs
+
+let type_name_is_atomic n =
+  List.exists (fun a -> n = a || contains_sub n a) atomic_like_types
+
+(* Can a value of type [ty] transitively reach non-Atomic mutable state?
+   Type-directed, conservative in structure but with two documented
+   blind spots: arrow types are opaque (a captured closure may itself
+   capture mutable state — that closure's own capture site is audited
+   where it is built), and abstract types without a visible declaration
+   classify as safe. [Owned] means the reach is sanctioned by a
+   [@zygos.owned] on the type or field declaration. *)
+type reach = Reach_safe | Reach_owned | Reach_mut of string
+
+let reach_join a b =
+  match (a, b) with
+  | Reach_mut _, _ -> a
+  | _, Reach_mut _ -> b
+  | Reach_owned, _ | _, Reach_owned -> Reach_owned
+  | Reach_safe, Reach_safe -> Reach_safe
+
+let type_reaches_mutable env ty =
+  let visited = ref [] in
+  let rec go depth ty =
+    if depth > 5 then Reach_safe
+    else
+      let ty = try Ctype.expand_head env ty with _ -> ty in
+      match Types.get_desc ty with
+      | Types.Tarrow _ | Types.Tvar _ | Types.Tunivar _ | Types.Tpackage _ ->
+          Reach_safe
+      | Types.Tpoly (t, _) -> go depth t
+      | Types.Ttuple tys ->
+          List.fold_left (fun acc t -> reach_join acc (go (depth + 1) t)) Reach_safe tys
+      | Types.Tconstr (p, args, _) ->
+          let n = norm_path p in
+          if type_name_is_atomic (Path.name p) then Reach_safe
+          else if Path.same p Predef.path_array then Reach_mut "array"
+          else if Path.same p Predef.path_bytes then Reach_mut "bytes"
+          else if List.exists (Path.same p) !visited then Reach_safe
+          else begin
+            visited := p :: !visited;
+            match Env.find_type p env with
+            | exception _ -> Reach_safe
+            | decl ->
+                if has_owned_attr decl.Types.type_attributes then Reach_owned
+                else begin
+                  match decl.Types.type_kind with
+                  | Types.Type_record (lds, _) ->
+                      List.fold_left
+                        (fun acc (ld : Types.label_declaration) ->
+                          let r =
+                            if ld.ld_mutable = Asttypes.Mutable then
+                              if has_owned_attr ld.ld_attributes then Reach_owned
+                              else
+                                let field_atomic =
+                                  match Types.get_desc ld.ld_type with
+                                  | Types.Tconstr (fp, _, _) ->
+                                      type_name_is_atomic (Path.name fp)
+                                  | _ -> false
+                                in
+                                if field_atomic then Reach_safe
+                                else
+                                  Reach_mut
+                                    (Printf.sprintf "mutable field %s of %s"
+                                       (Ident.name ld.ld_id) n)
+                            else go (depth + 1) ld.ld_type
+                          in
+                          reach_join acc r)
+                        Reach_safe lds
+                  | Types.Type_variant (cds, _) ->
+                      List.fold_left
+                        (fun acc (cd : Types.constructor_declaration) ->
+                          let tys =
+                            match cd.cd_args with
+                            | Types.Cstr_tuple tys -> tys
+                            | Types.Cstr_record lds ->
+                                List.map (fun (l : Types.label_declaration) -> l.ld_type)
+                                  lds
+                          in
+                          List.fold_left
+                            (fun acc t -> reach_join acc (go (depth + 1) t))
+                            acc tys)
+                        Reach_safe cds
+                  | Types.Type_abstract | Types.Type_open -> (
+                      (* visible manifest was already chased by expand_head;
+                         also look through the params we were given *)
+                      match args with
+                      | [] -> Reach_safe
+                      | _ ->
+                          List.fold_left
+                            (fun acc t -> reach_join acc (go (depth + 1) t))
+                            Reach_safe args)
+                end
+          end
+      | _ -> Reach_safe
+  in
+  go 0 ty
+
+(* Free variables of a closure: idents referenced inside [e] but bound
+   outside it. Binders introduced anywhere within [e] (patterns of
+   nested funs/lets/matches) are excluded by stamp, so shadowing cannot
+   misattribute a capture. Deduplicated by name, first use wins. *)
+let closure_free_vars (e : Typedtree.expression) =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let free = ref [] in
+  let note_bound id = Hashtbl.replace bound (Ident.unique_name id) () in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) sub (p : k Typedtree.general_pattern) ->
+          (match p.pat_desc with
+          | Typedtree.Tpat_var (id, _) -> note_bound id
+          | Typedtree.Tpat_alias (_, id, _) -> note_bound id
+          | _ -> ());
+          Tast_iterator.default_iterator.pat sub p);
+      expr =
+        (fun sub x ->
+          (match x.exp_desc with
+          | Typedtree.Texp_ident (Path.Pident id, _, _)
+            when not (Hashtbl.mem bound (Ident.unique_name id)) ->
+              if not (List.exists (fun (n, _, _, _) -> n = Ident.name id) !free) then
+                free := (Ident.name id, id, x.exp_type, x.exp_loc) :: !free
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  it.expr it e;
+  List.rev !free
+
+(* Collect the outermost [fun] nodes within [e] — each is a closure whose
+   captures must be audited when [e] flows to a domain sink. *)
+let collect_closures (e : Typedtree.expression) =
+  let out = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          match x.exp_desc with
+          | Typedtree.Texp_function _ -> out := x :: !out
+          | _ -> Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  it.expr it e;
+  List.rev !out
+
 let make_iterator ctx =
   let default = Tast_iterator.default_iterator in
 
@@ -439,6 +673,52 @@ let make_iterator ctx =
       match List.assoc_opt name poly_ops with
       | None -> ()
       | Some specializable -> check_r3 loc name ~direct ~specializable env arg_ty
+  in
+  (* R8: the arguments of a domain-sink call carry closures to another
+     domain. Audit the free variables of every closure lexically inside
+     the arguments — looking through one level of local let-binding, so
+     [let tasks = ... in Pool.run ~tasks] is not a blind spot. *)
+  let check_r8_sink sink_name (args : (Asttypes.arg_label * Typedtree.expression option) list) =
+    List.iter
+      (fun ((_, arg) : _ * Typedtree.expression option) ->
+        match arg with
+        | None -> ()
+        | Some a ->
+            let exprs =
+              match a.exp_desc with
+              | Texp_ident (Path.Pident id, _, _) -> (
+                  match
+                    List.find_opt (fun (i, _) -> Ident.same i id) ctx.let_env
+                  with
+                  | Some (_, bound) -> [ bound ]
+                  | None -> [ a ])
+              | _ -> [ a ]
+            in
+            List.iter
+              (fun e ->
+                List.iter
+                  (fun (closure : Typedtree.expression) ->
+                    List.iter
+                      (fun (name, _id, ty, (loc : Location.t)) ->
+                        match type_reaches_mutable closure.exp_env ty with
+                        | Reach_safe -> ()
+                        | Reach_owned ->
+                            report ~forced_suppressed:true ctx R8 loc
+                              (Printf.sprintf
+                                 "%s is captured by a closure passed to %s; mutable \
+                                  reach is documented by [@zygos.owned] on its type"
+                                 name sink_name)
+                        | Reach_mut what ->
+                            report ctx R8 loc
+                              (Printf.sprintf
+                                 "%s is captured by a closure passed to %s and reaches \
+                                  %s; use Atomic.t or document the single-owner \
+                                  discipline with [@zygos.owned]"
+                                 name sink_name what))
+                      (closure_free_vars closure))
+                  (collect_closures e))
+              exprs)
+      args
   in
 
   let hot_node_checks (e : Typedtree.expression) =
@@ -511,6 +791,7 @@ let make_iterator ctx =
            let name = norm_path p in
            check_r1_ident hd.exp_loc name;
            check_r5_ident hd.exp_loc name;
+           if is_domain_sink name then check_r8_sink name args;
            (* Hashtbl.create ~random:true (or a random flag we cannot
               prove false) seeds the hash nondeterministically. *)
            (if name = "Hashtbl.create" then
@@ -592,6 +873,12 @@ let make_iterator ctx =
                it.Tast_iterator.expr it c.c_rhs)
              cases
        | Texp_let (_, vbs, body) ->
+           List.iter
+             (fun (vb : Typedtree.value_binding) ->
+               match vb.vb_pat.pat_desc with
+               | Tpat_var (id, _) -> ctx.let_env <- (id, vb.vb_expr) :: ctx.let_env
+               | _ -> ())
+             vbs;
            if ctx.hot > 0 then
              List.iter
                (fun (vb : Typedtree.value_binding) ->
@@ -612,6 +899,9 @@ let make_iterator ctx =
   in
 
   let value_binding it (vb : Typedtree.value_binding) =
+    (match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> ctx.let_env <- (id, vb.vb_expr) :: ctx.let_env
+    | _ -> ());
     let attrs = vb.vb_attributes @ vb.vb_pat.pat_attributes in
     push ctx (allows_of_attributes attrs);
     it.Tast_iterator.pat it vb.vb_pat;
@@ -662,7 +952,7 @@ let make_iterator ctx =
 
 let deterministic_dirs =
   [ "lib/engine"; "lib/systems"; "lib/models"; "lib/net"; "lib/stats"; "lib/experiments";
-    "lib/cluster" ]
+    "lib/cluster"; "bin"; "examples" ]
 
 let norm_file f =
   String.map (fun c -> if c = '\\' then '/' else c) f
@@ -690,6 +980,7 @@ let analyze_structure ?(enabled = all_rules) ?r1 ?r4 ~file (str : Typedtree.stru
       stack = [];
       file_allows = [];
       findings = [];
+      let_env = [];
     }
   in
   let it = make_iterator ctx in
@@ -701,6 +992,351 @@ let analyze_structure ?(enabled = all_rules) ?r1 ?r4 ~file (str : Typedtree.stru
 
 let active fs = List.filter (fun f -> not f.suppressed) fs
 let suppressed_of fs = List.filter (fun f -> f.suppressed) fs
+
+(* ---- whole-program function summaries (consumed by Graph for R6/R7) ----
+
+   One summary per syntactic function binding, keyed by a canonical
+   dotted name ("Engine.Wheel.add"). Canonicalization undoes dune's
+   [Lib__Module] name mangling and resolves local module aliases and
+   functor instantiations ([module RQ = Remote_queue.Make (Nolock)]:
+   calls through [RQ.f] resolve to the functor body's [...Make.f]).
+   Higher-order calls — a computed head, a call through a function
+   parameter — resolve to [Callee_unknown], the top of the callee
+   lattice: the graph must assume they may allocate. *)
+
+type callee =
+  | Callee of string  (* resolved dotted name; a summary may or may not exist *)
+  | Callee_prim of string * bool  (* primitive / external, [allocates] *)
+  | Callee_local  (* locally-bound lambda: its body is part of this summary *)
+  | Callee_unknown of string  (* higher-order; payload is the reason *)
+
+type call_site = {
+  cs_line : int;
+  cs_col : int;
+  cs_callee : callee;
+  cs_ret_float : bool;  (* full application whose result is a bare float *)
+  cs_arg_float : bool;  (* a supplied argument is a bare float *)
+  cs_allows : rule list;  (* suppressions lexically in scope at the site *)
+}
+
+type alloc_site = { al_line : int; al_col : int; al_desc : string; al_allowed : bool }
+
+type fsummary = {
+  fs_name : string;
+  fs_file : string;
+  fs_line : int;
+  fs_hot : bool;
+  fs_calls : call_site list;
+  fs_allocs : alloc_site list;
+}
+
+(* "Engine__Wheel" -> ["Engine"; "Wheel"]; leaves ordinary names alone. *)
+let split_mangling comp =
+  let n = String.length comp in
+  let out = ref [] and start = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if comp.[!i] = '_' && comp.[!i + 1] = '_' && !i > !start then begin
+      out := String.sub comp !start (!i - !start) :: !out;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  out := String.sub comp !start (n - !start) :: !out;
+  List.rev_map String.capitalize_ascii !out
+
+let rec path_components (p : Path.t) acc =
+  match p with
+  | Path.Pident id -> Ident.name id :: acc
+  | Path.Pdot (p, s) -> path_components p (s :: acc)
+  | Path.Papply (f, _) -> path_components f acc
+  | Path.Pextra_ty (p, _) -> path_components p acc
+
+let prim_allocates (p : Primitive.description) =
+  let n = p.prim_name in
+  if String.length n > 0 && n.[0] = '%' then false else p.prim_alloc
+
+let silent_warn (_ : Location.t) (_ : string) = ()
+
+let summarize_structure ?(warn = silent_warn) ~modname ~file
+    (str : Typedtree.structure) =
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let by_ident : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let work = ref [] in
+  let file_allows = ref [] in
+  (* module aliases visible at a canonical path, exported for cross-file
+     resolution ("Core.Sched.Sim_sched" -> "Core.Sched.Make") *)
+  let galiases = ref [] in
+  let resolve_comps comps =
+    let rec go fuel comps =
+      if fuel = 0 then comps
+      else
+        match comps with
+        | [] -> []
+        | c :: rest -> (
+            match split_mangling c with
+            | [ _ ] -> (
+                match Hashtbl.find_opt aliases c with
+                | Some repl when repl <> comps && List.hd repl <> c ->
+                    go (fuel - 1) (repl @ rest)
+                | _ -> comps)
+            | parts -> go (fuel - 1) (parts @ rest))
+    in
+    match go 8 comps with "Stdlib" :: (_ :: _ as rest) -> rest | r -> r
+  in
+  let is_fun_expr (e : Typedtree.expression) =
+    match e.exp_desc with Texp_function _ -> true | _ -> false
+  in
+  let rec unwrap_mod (me : Typedtree.module_expr) =
+    match me.mod_desc with Tmod_constraint (me, _, _, _) -> unwrap_mod me | _ -> me
+  in
+  let rec collect prefix (items : Typedtree.structure_item list) =
+    List.iter
+      (fun (si : Typedtree.structure_item) ->
+        match si.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) when is_fun_expr vb.vb_expr ->
+                    let name = String.concat "." (prefix @ [ Ident.name id ]) in
+                    Hashtbl.replace by_ident (Ident.unique_name id) name;
+                    work := (name, vb) :: !work
+                | _ -> ())
+              vbs
+        | Tstr_module mb -> collect_module prefix mb
+        | Tstr_recmodule mbs -> List.iter (collect_module prefix) mbs
+        | Tstr_attribute attr ->
+            file_allows := allows_of_attributes ~warn [ attr ] @ !file_allows
+        | _ -> ())
+      items
+  and collect_module prefix (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> (
+        let name = Ident.name id in
+        match (unwrap_mod mb.mb_expr).mod_desc with
+        | Tmod_structure s ->
+            Hashtbl.replace aliases name (prefix @ [ name ]);
+            collect (prefix @ [ name ]) s.str_items
+        | Tmod_functor (_, body) -> (
+            match (unwrap_mod body).mod_desc with
+            | Tmod_structure s ->
+                Hashtbl.replace aliases name (prefix @ [ name ]);
+                collect (prefix @ [ name ]) s.str_items
+            | _ -> ())
+        | Tmod_ident (p, _) ->
+            let repl = resolve_comps (path_components p []) in
+            Hashtbl.replace aliases name repl;
+            galiases :=
+              (String.concat "." (prefix @ [ name ]), String.concat "." repl)
+              :: !galiases
+        | Tmod_apply _ as d ->
+            (* module M = F (X): calls through M resolve to the functor's
+               own body; the argument side stays behind the functor's
+               parameter, i.e. unknown — the conservative direction. *)
+            let rec head = function
+              | Typedtree.Tmod_apply (f, _, _) -> head (unwrap_mod f).mod_desc
+              | Tmod_ident (p, _) -> Some (path_components p [])
+              | _ -> None
+            in
+            Option.iter
+              (fun comps ->
+                let repl = resolve_comps comps in
+                Hashtbl.replace aliases name repl;
+                galiases :=
+                  (String.concat "." (prefix @ [ name ]), String.concat "." repl)
+                  :: !galiases)
+              (head d)
+        | _ -> ())
+  in
+  collect (split_mangling modname) str.str_items;
+  let summarize (name, (vb : Typedtree.value_binding)) =
+    let calls = ref [] and allocs = ref [] in
+    let local_fns : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let stack = ref [ allows_of_attributes ~warn vb.vb_attributes ] in
+    let in_scope () = !file_allows @ List.concat !stack in
+    let record_alloc (loc : Location.t) desc =
+      let allows = in_scope () in
+      let p = loc.loc_start in
+      allocs :=
+        {
+          al_line = p.pos_lnum;
+          al_col = p.pos_cnum - p.pos_bol;
+          al_desc = desc;
+          al_allowed = List.memq R6 allows || List.memq R2 allows;
+        }
+        :: !allocs
+    in
+    let record_call (loc : Location.t) callee ~ret_float ~arg_float =
+      let p = loc.loc_start in
+      calls :=
+        {
+          cs_line = p.pos_lnum;
+          cs_col = p.pos_cnum - p.pos_bol;
+          cs_callee = callee;
+          cs_ret_float = ret_float;
+          cs_arg_float = arg_float;
+          cs_allows = in_scope ();
+        }
+        :: !calls
+    in
+    let resolve_value_path p =
+      match p with
+      | Path.Pident id ->
+          let u = Ident.unique_name id in
+          if Hashtbl.mem local_fns u then Callee_local
+          else (
+            match Hashtbl.find_opt by_ident u with
+            | Some n -> Callee n
+            | None ->
+                Callee_unknown
+                  (Printf.sprintf "higher-order call through %s" (Ident.name id)))
+      | _ ->
+          let rec head = function
+            | Path.Pident id -> id
+            | Path.Pdot (p, _) | Path.Papply (p, _) | Path.Pextra_ty (p, _) ->
+                head p
+          in
+          let h = head p in
+          (* A non-persistent head module that we did not collect in this
+             unit is a functor parameter (or an unregistered local): its
+             implementation is not knowable here — Unknown, not Known. *)
+          if (not (Ident.global h)) && not (Hashtbl.mem aliases (Ident.name h))
+          then
+            Callee_unknown
+              (Printf.sprintf "call through module parameter %s" (Ident.name h))
+          else Callee (String.concat "." (resolve_comps (path_components p [])))
+    in
+    let float_ty env ty =
+      let ty = try Ctype.expand_head env ty with _ -> ty in
+      is_float_ty ty
+    in
+    let default = Tast_iterator.default_iterator in
+    (* [chain] > 0 while unwrapping the binding's own parameter lambdas —
+       definition-site arity, not a per-call closure. *)
+    let chain = ref 1 in
+    let expr it (e : Typedtree.expression) =
+      let allows = allows_of_attributes ~warn e.exp_attributes in
+      stack := allows :: !stack;
+      (if is_raising e then () (* cold branch: neither allocs nor calls *)
+       else
+         let was_chain = !chain in
+         match e.exp_desc with
+         | Texp_function { cases; _ } ->
+             (* a curried parameter chain compiles to ONE closure: record
+                the outermost lambda, then treat the rest as in-chain *)
+             if was_chain = 0 then record_alloc e.exp_loc "closure";
+             List.iter
+               (fun (c : _ Typedtree.case) ->
+                 chain := 0;
+                 Option.iter (it.Tast_iterator.expr it) c.c_guard;
+                 chain := 1;
+                 it.Tast_iterator.expr it c.c_rhs;
+                 chain := was_chain)
+               cases
+         | _ -> (
+             chain := 0;
+             match e.exp_desc with
+             | Texp_apply (({ exp_desc = Texp_ident (p, _, vd); _ } as hd), args) ->
+                 let omitted = List.exists (fun (_, a) -> a = None) args in
+                 let n_args = List.length args in
+                 let partial =
+                   omitted
+                   || is_arrow_ty e.exp_type && n_args < scheme_arity vd.val_type
+                 in
+                 if partial then
+                   record_alloc e.exp_loc "partial application (closure)";
+                 let callee =
+                   match vd.val_kind with
+                   | Types.Val_prim prim ->
+                       if prim.prim_name = "%apply" || prim.prim_name = "%revapply"
+                       then Callee_unknown "function applied via @@ or |>"
+                       else Callee_prim (prim.prim_name, prim_allocates prim)
+                   | _ -> resolve_value_path p
+                 in
+                 let arg_float =
+                   List.exists
+                     (fun ((_, a) : _ * Typedtree.expression option) ->
+                       match a with
+                       | Some a -> float_ty a.exp_env a.exp_type
+                       | None -> false)
+                     args
+                 in
+                 record_call hd.exp_loc callee
+                   ~ret_float:((not partial) && float_ty e.exp_env e.exp_type)
+                   ~arg_float;
+                 List.iter (fun (_, a) -> Option.iter (it.Tast_iterator.expr it) a) args
+             | Texp_apply (hd, args) ->
+                 if is_arrow_ty e.exp_type then
+                   record_alloc e.exp_loc "partial application (closure)";
+                 record_call hd.exp_loc
+                   (Callee_unknown "higher-order call (computed function)")
+                   ~ret_float:(float_ty e.exp_env e.exp_type)
+                   ~arg_float:
+                     (List.exists
+                        (fun ((_, a) : _ * Typedtree.expression option) ->
+                          match a with
+                          | Some a -> float_ty a.exp_env a.exp_type
+                          | None -> false)
+                        args);
+                 it.Tast_iterator.expr it hd;
+                 List.iter (fun (_, a) -> Option.iter (it.Tast_iterator.expr it) a) args
+             | Texp_match (({ exp_desc = Texp_tuple els; _ } as scrut), cases, _) ->
+                 (* [match a, b with] never builds the scrutinee tuple *)
+                 ignore scrut;
+                 List.iter (it.Tast_iterator.expr it) els;
+                 List.iter
+                   (fun (c : _ Typedtree.case) ->
+                     it.Tast_iterator.pat it c.c_lhs;
+                     Option.iter (it.Tast_iterator.expr it) c.c_guard;
+                     it.Tast_iterator.expr it c.c_rhs)
+                   cases
+             | Texp_let (_, vbs, _) ->
+                 List.iter
+                   (fun (vb : Typedtree.value_binding) ->
+                     match vb.vb_pat.pat_desc with
+                     | Tpat_var (id, _) when is_fun_expr vb.vb_expr ->
+                         Hashtbl.replace local_fns (Ident.unique_name id) ()
+                     | _ -> ())
+                   vbs;
+                 default.expr it e
+             | Texp_tuple _ -> record_alloc e.exp_loc "tuple"; default.expr it e
+             | Texp_construct (_, cd, cargs) ->
+                 if cargs <> [] then
+                   record_alloc e.exp_loc
+                     (Printf.sprintf "constructor %s" cd.cstr_name);
+                 default.expr it e
+             | Texp_record _ -> record_alloc e.exp_loc "record"; default.expr it e
+             | Texp_array (_ :: _) ->
+                 record_alloc e.exp_loc "array literal";
+                 default.expr it e
+             | Texp_lazy _ -> record_alloc e.exp_loc "lazy block"; default.expr it e
+             | Texp_letop _ ->
+                 record_alloc e.exp_loc "binding operator";
+                 default.expr it e
+             | Texp_pack _ ->
+                 record_alloc e.exp_loc "first-class module";
+                 default.expr it e
+             | Texp_object _ -> record_alloc e.exp_loc "object"; default.expr it e
+             | _ -> default.expr it e));
+      chain := (match e.exp_desc with Texp_function _ -> !chain | _ -> 0);
+      stack := List.tl !stack
+    in
+    let it = { default with Tast_iterator.expr } in
+    it.expr it vb.vb_expr;
+    let p = vb.vb_pat.pat_loc.loc_start in
+    {
+      fs_name = name;
+      fs_file = file;
+      fs_line = p.pos_lnum;
+      fs_hot = has_hot (vb.vb_attributes @ vb.vb_pat.pat_attributes);
+      fs_calls = List.rev !calls;
+      fs_allocs = List.rev !allocs;
+    }
+  in
+  (List.rev_map summarize !work, List.rev !galiases)
 
 (* ---- cmt loading ---- *)
 
@@ -720,10 +1356,6 @@ let init_load_path dirs =
    context root from the cmt's own location: its directory ends with one
    of the recorded entries (its own objs dir). Fall back to builddir,
    then cwd. *)
-let ends_with ~suffix s =
-  let n = String.length s and m = String.length suffix in
-  m <= n && String.sub s (n - m) m = suffix
-
 let cmt_dirs cmt_path (cmt : Cmt_format.cmt_infos) =
   let entries = List.filter (fun d -> d <> "") cmt.cmt_loadpath in
   let cmt_dir = norm_file (Filename.dirname cmt_path) in
@@ -751,6 +1383,8 @@ let cmt_dirs cmt_path (cmt : Cmt_format.cmt_infos) =
 type cmt_result = {
   source : string;
   findings : finding list;
+  summaries : fsummary list;  (* whole-program input for Graph (R6/R7) *)
+  aliases : (string * string) list;  (* canonical module aliases, for Graph *)
 }
 
 let analyze_cmt ?(enabled = all_rules) ?r1 ?r4 path =
@@ -765,8 +1399,17 @@ let analyze_cmt ?(enabled = all_rules) ?r1 ?r4 path =
           let source =
             match cmt.cmt_sourcefile with Some s -> s | None -> path
           in
-          Ok { source; findings = analyze_structure ~enabled ?r1 ?r4 ~file:source str }
-      | _ -> Ok { source = path; findings = [] })
+          let summaries, aliases =
+            summarize_structure ~modname:cmt.cmt_modname ~file:source str
+          in
+          Ok
+            {
+              source;
+              findings = analyze_structure ~enabled ?r1 ?r4 ~file:source str;
+              summaries;
+              aliases;
+            }
+      | _ -> Ok { source = path; findings = []; summaries = []; aliases = [] })
 
 let rec find_cmts acc path =
   if Sys.is_directory path then

@@ -1,0 +1,360 @@
+(* Machine-readable lint report and the CI baseline ratchet.
+
+   The report (--report lint.json) is deterministic by construction:
+   every list is sorted upstream (Graph sorts findings, Lint returns
+   files in sorted order), object keys are emitted in a fixed order,
+   and there are no timestamps, hostnames, or hash-table iteration
+   anywhere — so the bytes are identical across runs and -j settings.
+
+   The ratchet (--ratchet LINT_BASELINE.json) compares the current
+   report against a committed baseline and fails on either:
+   - a NEW active finding: current count for a (file, rule, msg) key
+     exceeds the baseline count (line/col excluded so pure line drift
+     does not churn the baseline);
+   - a VANISHED suppression: the per-(file, rule) suppression count
+     dropped below the baseline. Suppressions are load-bearing
+     documentation; removing one must be deliberate (regenerate the
+     baseline in the same commit). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ---- writer ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string (j : json) =
+  let buf = Buffer.create 4096 in
+  let rec go indent j =
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr l ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            go (indent + 2) x)
+          l;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            go (indent + 2) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- minimal parser (only what the writer above emits) ---- *)
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else
+                     (* non-ASCII escapes are not produced by our writer *)
+                     Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+                   pos := !pos + 4
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then advance ();
+        let rec digits () =
+          match peek () with
+          | Some '0' .. '9' ->
+              advance ();
+              digits ()
+          | _ -> ()
+        in
+        digits ();
+        (* our writer never emits floats; reject a fractional part *)
+        if peek () = Some '.' then fail "unexpected float";
+        Int (int_of_string (String.sub s start (!pos - start)))
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj kvs -> ( match List.assoc_opt key kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let arr = function Arr l -> l | _ -> []
+let str_of = function Str s -> s | _ -> ""
+let int_of = function Int i -> i | _ -> 0
+
+(* ---- report construction ---- *)
+
+let finding_json (f : Lint.finding) =
+  Obj
+    [
+      ("file", Str f.file);
+      ("line", Int f.line);
+      ("col", Int f.col);
+      ("rule", Str (Lint.rule_name f.rule));
+      ("msg", Str f.msg);
+    ]
+
+let rule_counts findings =
+  List.map
+    (fun r ->
+      let c =
+        List.length (List.filter (fun (f : Lint.finding) -> f.rule == r) findings)
+      in
+      (Lint.rule_name r, Int c))
+    Lint.all_rules
+
+let report_json ~(active : Lint.finding list) ~(suppressed : Lint.finding list)
+    ~(graph : Graph.result) =
+  Obj
+    [
+      ("schema", Str "zygoscope-lint-v2");
+      ("findings", Arr (List.map finding_json active));
+      ("suppressions", Arr (List.map finding_json suppressed));
+      ("counts_active", Obj (rule_counts active));
+      ("counts_suppressed", Obj (rule_counts suppressed));
+      ( "root_hot_set_sizes",
+        Arr
+          (List.map
+             (fun (root, size) -> Obj [ ("root", Str root); ("size", Int size) ])
+             graph.Graph.root_sizes) );
+      ( "callgraph",
+        Obj
+          [
+            ("functions", Int graph.Graph.stats.gs_functions);
+            ("edges", Int graph.Graph.stats.gs_edges);
+            ("unknown_edges", Int graph.Graph.stats.gs_unknown);
+            ("hot_roots", Int graph.Graph.stats.gs_roots);
+            ("hot_set", Int graph.Graph.stats.gs_hot);
+          ] );
+    ]
+
+(* ---- ratchet ---- *)
+
+let counts_by key_of items =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun it ->
+      let k = key_of it in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    items;
+  tbl
+
+let finding_key j =
+  Printf.sprintf "%s|%s|%s"
+    (str_of (member "file" j))
+    (str_of (member "rule" j))
+    (str_of (member "msg" j))
+
+let suppression_key j =
+  Printf.sprintf "%s|%s" (str_of (member "file" j)) (str_of (member "rule" j))
+
+(* Returns violation messages; empty list = ratchet holds. *)
+let ratchet ~(baseline : json) ~(current : json) =
+  let violations = ref [] in
+  let base_f = counts_by finding_key (arr (member "findings" baseline)) in
+  let cur_f = counts_by finding_key (arr (member "findings" current)) in
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.iter
+    (fun k ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt cur_f k) in
+      let base = Option.value ~default:0 (Hashtbl.find_opt base_f k) in
+      if cur > base then
+        violations :=
+          Printf.sprintf "new finding (%d > baseline %d): %s" cur base k
+          :: !violations)
+    (List.sort_uniq compare (keys cur_f));
+  let base_s = counts_by suppression_key (arr (member "suppressions" baseline)) in
+  let cur_s = counts_by suppression_key (arr (member "suppressions" current)) in
+  List.iter
+    (fun k ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt cur_s k) in
+      let base = Option.value ~default:0 (Hashtbl.find_opt base_s k) in
+      if cur < base then
+        violations :=
+          Printf.sprintf
+            "suppression vanished (%d < baseline %d): %s — if deliberate, \
+             regenerate the baseline in the same commit"
+            cur base k
+          :: !violations)
+    (List.sort_uniq compare (keys base_s));
+  List.sort compare !violations
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s

@@ -1,25 +1,36 @@
 (* zygoscope CLI — walk .cmt files (or directories containing them),
-   run the Lint rules, print compiler-style diagnostics, exit non-zero
-   on active (unsuppressed) findings.
+   run the per-file Lint rules plus the whole-program call-graph rules
+   (Graph: R6 transitive-hot, R7 float-boxing), print compiler-style
+   diagnostics, exit non-zero on active (unsuppressed) findings.
 
-   Usage: zygoscope [--rules r1,r3] [--show-suppressed] [--no-suppressions] PATH... *)
+   Usage: zygoscope [--rules r1,r3] [--show-suppressed] [--no-suppressions]
+                    [--report FILE] [--ratchet BASELINE] PATH... *)
 
 module Lint = Zygoscope_lib.Lint
+module Graph = Zygoscope_lib.Graph
+module Report = Zygoscope_lib.Report
 
 let usage =
   "zygoscope [OPTIONS] PATH...\n\
    Static invariant linter over dune-produced .cmt typedtrees.\n\
    PATH may be a .cmt file or a directory searched recursively.\n\n\
   \  --rules LIST       comma-separated subset (r1|determinism, r2|hot-alloc,\n\
-  \                     r3|poly-compare, r4|domain-safety, r5|obj); default all\n\
+  \                     r3|poly-compare, r4|domain-safety, r5|obj,\n\
+  \                     r6|transitive-hot, r7|float-boxing, r8|domain-escape);\n\
+  \                     default all\n\
   \  --show-suppressed  also print findings silenced by [@zygos.allow]/[@zygos.owned]\n\
-  \  --no-suppressions  treat suppressed findings as active (audit mode)\n"
+  \  --no-suppressions  treat suppressed findings as active (audit mode)\n\
+  \  --report FILE      write the deterministic JSON report to FILE\n\
+  \  --ratchet BASELINE compare against a committed baseline report; fail on\n\
+  \                     any new finding or any vanished suppression\n"
 
 let () =
   let paths = ref [] in
   let rules = ref Lint.all_rules in
   let show_suppressed = ref false in
   let no_suppressions = ref false in
+  let report_file = ref None in
+  let ratchet_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--rules" :: spec :: rest ->
@@ -39,6 +50,12 @@ let () =
         parse rest
     | "--no-suppressions" :: rest ->
         no_suppressions := true;
+        parse rest
+    | "--report" :: file :: rest ->
+        report_file := Some file;
+        parse rest
+    | "--ratchet" :: file :: rest ->
+        ratchet_file := Some file;
         parse rest
     | ("--help" | "-h") :: _ ->
         print_string usage;
@@ -71,39 +88,92 @@ let () =
     exit 2
   end;
   let errors = ref 0 in
-  let findings =
-    List.concat_map
-      (fun cmt ->
-        match Lint.analyze_cmt ~enabled:!rules cmt with
-        | Ok r -> r.Lint.findings
-        | Error msg ->
-            Printf.eprintf "zygoscope: %s\n" msg;
-            incr errors;
-            [])
-      cmts
+  let per_file = ref [] and summaries = ref [] and aliases = ref [] in
+  List.iter
+    (fun cmt ->
+      match Lint.analyze_cmt ~enabled:!rules cmt with
+      | Ok r ->
+          per_file := r.Lint.findings :: !per_file;
+          summaries := r.Lint.summaries :: !summaries;
+          aliases := r.Lint.aliases :: !aliases
+      | Error msg ->
+          Printf.eprintf "zygoscope: %s\n" msg;
+          incr errors)
+    cmts;
+  let summaries = List.concat (List.rev !summaries) in
+  let aliases = List.concat (List.rev !aliases) in
+  let graph = Graph.analyze ~aliases summaries in
+  let graph_findings =
+    List.filter
+      (fun (f : Lint.finding) -> List.memq f.Lint.rule !rules)
+      graph.Graph.findings
   in
+  let findings = List.concat (List.rev !per_file) @ graph_findings in
   let findings =
     if !no_suppressions then
       List.map (fun f -> { f with Lint.suppressed = false }) findings
     else findings
   in
   let active = Lint.active findings in
-  let shown =
-    if !show_suppressed then findings else active
-  in
-  let shown =
+  let suppressed = Lint.suppressed_of findings in
+  let sort_findings l =
     List.sort
       (fun (a : Lint.finding) b ->
         match compare a.file b.file with
-        | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+        | 0 -> (
+            match compare a.line b.line with
+            | 0 -> ( match compare a.col b.col with 0 -> compare a.msg b.msg | c -> c)
+            | c -> c)
         | c -> c)
-      shown
+      l
   in
+  let active = sort_findings active in
+  let suppressed = sort_findings suppressed in
+  let shown = if !show_suppressed then sort_findings findings else active in
   List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) shown;
+  (* per-rule counts + call-graph stats: parsed by the CI step summary *)
+  List.iter
+    (fun r ->
+      let count l =
+        List.length (List.filter (fun (f : Lint.finding) -> f.Lint.rule == r) l)
+      in
+      Format.printf "zygoscope: rule %s (%s): %d active, %d suppressed@."
+        (Lint.rule_code r) (Lint.rule_name r) (count active) (count suppressed))
+    Lint.all_rules;
+  let st = graph.Graph.stats in
+  Format.printf
+    "zygoscope: callgraph: %d functions, %d edges (%d unknown), %d hot roots, \
+     hot set %d@."
+    st.Graph.gs_functions st.Graph.gs_edges st.Graph.gs_unknown st.Graph.gs_roots
+    st.Graph.gs_hot;
+  let report = Report.report_json ~active ~suppressed ~graph in
+  Option.iter
+    (fun file -> Report.write_file file (Report.to_string report))
+    !report_file;
+  let ratchet_failed =
+    match !ratchet_file with
+    | None -> false
+    | Some file -> (
+        match Report.parse (Report.read_file file) with
+        | exception Sys_error msg ->
+            Printf.eprintf "zygoscope: cannot read baseline: %s\n" msg;
+            true
+        | exception Report.Parse_error msg ->
+            Printf.eprintf "zygoscope: baseline %s: %s\n" file msg;
+            true
+        | baseline ->
+            let violations = Report.ratchet ~baseline ~current:report in
+            List.iter
+              (fun v -> Format.printf "zygoscope: ratchet: %s@." v)
+              violations;
+            violations <> [])
+  in
   let n = List.length active in
   if n > 0 then
     Format.printf "zygoscope: %d finding%s in %d file%s@." n
       (if n = 1 then "" else "s")
       (List.length cmts)
       (if List.length cmts = 1 then "" else "s");
-  if !errors > 0 then exit 2 else if n > 0 then exit 1 else exit 0
+  if !errors > 0 then exit 2
+  else if n > 0 || ratchet_failed then exit 1
+  else exit 0
